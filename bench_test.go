@@ -1,0 +1,232 @@
+package caliqec
+
+// One benchmark per paper table/figure (regenerating it end to end through
+// internal/exp) plus micro-benchmarks of the substrates that dominate the
+// Monte-Carlo experiments. The experiment index in DESIGN.md §4 maps each
+// BenchmarkFig*/BenchmarkTable* to its paper artifact.
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/deform"
+	"caliqec/internal/dem"
+	"caliqec/internal/exp"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"caliqec/internal/runtime"
+	"caliqec/internal/sim"
+	"caliqec/internal/workload"
+	"testing"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run := exp.All()[id]
+	if run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := run(uint64(2025 + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Paper tables and figures ---
+
+func BenchmarkFig1Drift(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFig7Grouping(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig9Distribution(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10LERTrajectory(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11Reduction(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12SpaceTime(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13RealDevice(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkTable1Instructions(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFitLERModel(b *testing.B)        { benchExperiment(b, "fit") }
+
+// BenchmarkTable2 regenerates the full Table 2 comparison (12 rows × 3
+// strategies); one iteration is the whole table.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// Extension experiments (DESIGN.md §4, extension table).
+func BenchmarkCycleLER(b *testing.B)       { benchExperiment(b, "cycle") }
+func BenchmarkAblateDecoder(b *testing.B)  { benchExperiment(b, "ablate-decoder") }
+func BenchmarkAblateDeltaD(b *testing.B)   { benchExperiment(b, "ablate-deltad") }
+func BenchmarkAblatePriors(b *testing.B)   { benchExperiment(b, "ablate-priors") }
+func BenchmarkAblateSchedule(b *testing.B) { benchExperiment(b, "ablate-schedule") }
+func BenchmarkRouting(b *testing.B)        { benchExperiment(b, "routing") }
+func BenchmarkLocalizeDrift(b *testing.B)  { benchExperiment(b, "localize") }
+func BenchmarkDecodeCost(b *testing.B)     { benchExperiment(b, "decode-cost") }
+
+// BenchmarkTable2Row times a single Table 2 cell (Hubbard-10-10, d=25,
+// CaliQEC) for finer-grained regression tracking.
+func BenchmarkTable2Row(b *testing.B) {
+	cfg := runtime.Config{Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runtime.Run(cfg, runtime.StrategyCaliQEC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func memoryCircuit(b *testing.B, d int) *code.Patch {
+	b.Helper()
+	return code.NewPatch(lattice.NewSquare(d))
+}
+
+// BenchmarkFrameSampler measures Monte-Carlo throughput: shots per second
+// of a d=5 memory circuit.
+func BenchmarkFrameSampler(b *testing.B) {
+	p := memoryCircuit(b, 5)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 5, Basis: lattice.BasisZ, Noise: code.UniformNoise(1e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := sim.NewFrameSimulator(c, rng.New(1))
+	const shotsPerOp = 6400
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Sample(shotsPerOp, func(sim.BatchResult) {})
+	}
+	b.ReportMetric(float64(shotsPerOp)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+// BenchmarkDEMExtraction measures circuit→DEM lowering for a d=5 circuit.
+func BenchmarkDEMExtraction(b *testing.B) {
+	p := memoryCircuit(b, 5)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 5, Basis: lattice.BasisZ, Noise: code.UniformNoise(1e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dem.FromCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnionFindDecode measures decoding throughput on realistic d=5
+// syndromes.
+func BenchmarkUnionFindDecode(b *testing.B) {
+	p := memoryCircuit(b, 5)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 5, Basis: lattice.BasisZ, Noise: code.UniformNoise(2e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := dem.FromCircuit(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := decoder.BuildGraph(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := decoder.NewUnionFind(g)
+	// Pre-draw syndromes.
+	fs := sim.NewFrameSimulator(c, rng.New(3))
+	var syndromes [][]int
+	fs.Sample(640, func(res sim.BatchResult) {
+		for s := 0; s < res.Shots; s++ {
+			var syn []int
+			for di, w := range res.Detectors {
+				if w>>uint(s)&1 == 1 {
+					syn = append(syn, di)
+				}
+			}
+			syndromes = append(syndromes, syn)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(syndromes[i%len(syndromes)])
+	}
+}
+
+// BenchmarkGreedyDecode benchmarks the MWPM-style baseline decoder.
+func BenchmarkGreedyDecode(b *testing.B) {
+	p := memoryCircuit(b, 3)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(2e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := dem.FromCircuit(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := decoder.BuildGraph(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := decoder.NewGreedy(g)
+	syn := []int{1, 4, 7, 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(syn)
+	}
+}
+
+// BenchmarkIsolateReintegrate measures one full isolation/reintegration
+// deformation cycle on a d=7 square patch.
+func BenchmarkIsolateReintegrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := code.NewPatch(lattice.NewSquare(7))
+		d := deform.NewDeformer(p)
+		q := p.Lat.DataID[[2]int{3, 3}]
+		if _, err := d.IsolateQubit(q, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Reintegrate("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPatchDistance measures matching-graph distance computation.
+func BenchmarkPatchDistance(b *testing.B) {
+	p := code.NewPatch(lattice.NewSquare(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Distance(lattice.BasisX) != 11 {
+			b.Fatal("wrong distance")
+		}
+	}
+}
+
+// BenchmarkTableauRound measures the exact reference simulator on one d=3
+// syndrome round.
+func BenchmarkTableauRound(b *testing.B) {
+	p := memoryCircuit(b, 3)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 1, Basis: lattice.BasisZ})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunNoiseless(c, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline runs the full public-API pipeline (characterize,
+// compile, one runtime interval) on a d=5 system.
+func BenchmarkPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(Square, 5, Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := sys.Compile(sys.Characterize(), 1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RunInterval(plan, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

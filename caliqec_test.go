@@ -1,0 +1,110 @@
+package caliqec
+
+import (
+	"caliqec/internal/lattice"
+	"testing"
+)
+
+// TestPipelineEndToEnd drives the full public API: synthesize, characterize,
+// compile, run calibration intervals against the live patch, and verify the
+// patch returns to pristine shape after every interval.
+func TestPipelineEndToEnd(t *testing.T) {
+	sys, err := NewSystem(Square, 5, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := sys.Characterize()
+	if len(ch.Gates) == 0 {
+		t.Fatal("characterization empty")
+	}
+	plan, err := sys.Compile(ch, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PTar <= 0 || plan.PTar >= 0.01 {
+		t.Fatalf("p_tar = %.4g out of range", plan.PTar)
+	}
+	if plan.Grouping.TCaliHours <= 0 {
+		t.Fatal("no base interval")
+	}
+	pristineChecks := len(sys.Patch().Checks)
+	now := 0.0
+	ranSomething := false
+	for n := 1; n <= 3; n++ {
+		rep, err := sys.RunInterval(plan, n, now)
+		if err != nil {
+			t.Fatalf("interval %d: %v", n, err)
+		}
+		if len(rep.DueGates) > 0 {
+			ranSomething = true
+			if rep.Calibrated == 0 {
+				t.Errorf("interval %d: due gates but none calibrated", n)
+			}
+		}
+		if err := sys.Patch().Validate(); err != nil {
+			t.Fatalf("interval %d left invalid patch: %v", n, err)
+		}
+		if len(sys.Patch().Checks) != pristineChecks {
+			t.Fatalf("interval %d: %d checks, want pristine %d", n, len(sys.Patch().Checks), pristineChecks)
+		}
+		if got := sys.Patch().Distance(lattice.BasisX); got != 5 {
+			t.Fatalf("interval %d: distance %d", n, got)
+		}
+		now += plan.Grouping.TCaliHours
+	}
+	if !ranSomething {
+		t.Error("no interval had due gates; plan degenerate")
+	}
+}
+
+func TestPipelineHeavyHex(t *testing.T) {
+	sys, err := NewSystem(HeavyHex, 5, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := sys.Characterize()
+	plan, err := sys.Compile(ch, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunInterval(plan, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	if err := sys.Patch().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureLER(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	sys, err := NewSystem(Square, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh device: low LER. After 24 h of drift: higher.
+	fresh, err := sys.MeasureLER(0, 3, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := sys.MeasureLER(24, 3, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fresh=%v drifted=%v", fresh, drifted)
+	if drifted.LER <= fresh.LER {
+		t.Errorf("24h drift did not raise LER: %.4g vs %.4g", drifted.LER, fresh.LER)
+	}
+}
+
+func TestNewSystemRejectsBadDistance(t *testing.T) {
+	if _, err := NewSystem(Square, 4, Options{}); err == nil {
+		t.Error("even distance accepted")
+	}
+	if _, err := NewSystem(Square, 1, Options{}); err == nil {
+		t.Error("distance 1 accepted")
+	}
+}

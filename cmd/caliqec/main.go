@@ -1,0 +1,233 @@
+// Command caliqec drives the CaliQEC pipeline from the shell.
+//
+// Subcommands:
+//
+//	caliqec characterize -topology square -d 5       preparation stage
+//	caliqec schedule     -topology hex -d 5 -ler 1e-3 compilation stage
+//	caliqec run          -d 5 -intervals 4           full in-situ loop
+//	caliqec simulate     -d 3 -p 2e-3 -shots 20000   Monte-Carlo LER
+//	caliqec instructions                             print Table 1
+package main
+
+import (
+	"caliqec"
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/deform"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "characterize":
+		err = cmdCharacterize(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "run":
+		err = cmdRun(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "instructions":
+		err = cmdInstructions()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caliqec:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: caliqec <characterize|schedule|run|simulate|instructions> [flags]`)
+}
+
+func topoFlag(fs *flag.FlagSet) *string {
+	return fs.String("topology", "square", "lattice topology: square | hex")
+}
+
+func parseTopo(s string) (caliqec.Topology, error) {
+	switch s {
+	case "square":
+		return caliqec.Square, nil
+	case "hex", "heavy-hex", "heavyhex":
+		return caliqec.HeavyHex, nil
+	}
+	return 0, fmt.Errorf("unknown topology %q", s)
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	topo := topoFlag(fs)
+	d := fs.Int("d", 5, "code distance")
+	seed := fs.Uint64("seed", 1, "random seed")
+	limit := fs.Int("limit", 20, "gates to print (0 = all)")
+	fs.Parse(args)
+	tp, err := parseTopo(*topo)
+	if err != nil {
+		return err
+	}
+	sys, err := caliqec.NewSystem(tp, *d, caliqec.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ch := sys.Characterize()
+	fmt.Printf("characterized %d gates on %v d=%d (%d physical qubits)\n\n",
+		len(ch.Gates), tp, *d, sys.Device.Lat.NumQubits())
+	fmt.Printf("%-6s %-10s %-12s %-12s %-10s %s\n", "gate", "kind", "p0(est)", "Tdrift(est)", "Tcali", "|nbr|")
+	n := 0
+	for _, gc := range ch.Gates {
+		g := sys.Device.Gate(gc.GateID)
+		fmt.Printf("%-6d %-10v %-12.3g %-12.2f %-10.3f %d\n",
+			gc.GateID, g.Kind, gc.Drift.P0, gc.Drift.TDrift, gc.CaliHours, len(gc.Nbr))
+		n++
+		if *limit > 0 && n >= *limit {
+			fmt.Printf("... (%d more)\n", len(ch.Gates)-n)
+			break
+		}
+	}
+	return nil
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	topo := topoFlag(fs)
+	d := fs.Int("d", 5, "code distance")
+	seed := fs.Uint64("seed", 1, "random seed")
+	ler := fs.Float64("ler", 1e-3, "target logical error rate per cycle")
+	fs.Parse(args)
+	tp, err := parseTopo(*topo)
+	if err != nil {
+		return err
+	}
+	sys, err := caliqec.NewSystem(tp, *d, caliqec.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	plan, err := sys.Compile(sys.Characterize(), *ler)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("p_tar = %.4g (LER target %.3g at d=%d)\n", plan.PTar, *ler, *d)
+	fmt.Printf("base interval T_Cali = %.3f h, total frequency = %.3f cal/h\n\n",
+		plan.Grouping.TCaliHours, plan.Grouping.TotalFrequency())
+	var ks []int
+	for k := range plan.Grouping.Groups {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fmt.Printf("group k=%-3d period %6.2f h: %d gates\n",
+			k, float64(k)*plan.Grouping.TCaliHours, len(plan.Grouping.Groups[k]))
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	topo := topoFlag(fs)
+	d := fs.Int("d", 5, "code distance")
+	seed := fs.Uint64("seed", 1, "random seed")
+	ler := fs.Float64("ler", 1e-3, "target logical error rate per cycle")
+	intervals := fs.Int("intervals", 4, "calibration intervals to execute")
+	fs.Parse(args)
+	tp, err := parseTopo(*topo)
+	if err != nil {
+		return err
+	}
+	sys, err := caliqec.NewSystem(tp, *d, caliqec.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	plan, err := sys.Compile(sys.Characterize(), *ler)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("in-situ calibration on %v d=%d: T_Cali=%.2fh p_tar=%.4g\n\n",
+		tp, *d, plan.Grouping.TCaliHours, plan.PTar)
+	now := 0.0
+	for n := 1; n <= *intervals; n++ {
+		rep, err := sys.RunInterval(plan, n, now)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("interval %d (t=%6.2fh): %3d due, %3d calibrated in %d batches (Δd≤%d, enlarged=%v, %.2fh)\n",
+			n, now, len(rep.DueGates), rep.Calibrated, rep.Batches, rep.MaxDeltaD, rep.Enlarged, rep.ElapsedHours)
+		if err := sys.Patch().Validate(); err != nil {
+			return fmt.Errorf("patch invalid after interval %d: %w", n, err)
+		}
+		now += plan.Grouping.TCaliHours
+	}
+	fmt.Printf("\npatch valid, distance (%d, %d), %d checks\n",
+		sys.Patch().Distance(lattice.BasisX), sys.Patch().Distance(lattice.BasisZ), len(sys.Patch().Checks))
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	topo := topoFlag(fs)
+	d := fs.Int("d", 3, "code distance")
+	p := fs.Float64("p", 1e-3, "physical error rate")
+	rounds := fs.Int("rounds", 0, "QEC rounds (default d)")
+	shots := fs.Int("shots", 20000, "Monte-Carlo shots")
+	seed := fs.Uint64("seed", 1, "random seed")
+	isolate := fs.Bool("isolate", false, "isolate the central data qubit first (DataQ_RM)")
+	fs.Parse(args)
+	tp, err := parseTopo(*topo)
+	if err != nil {
+		return err
+	}
+	if *rounds == 0 {
+		*rounds = *d
+	}
+	var lat *lattice.Lattice
+	if tp == caliqec.Square {
+		lat = lattice.NewSquare(*d)
+	} else {
+		lat = lattice.NewHeavyHex(*d)
+	}
+	patch := code.NewPatch(lat)
+	if *isolate {
+		df := deform.NewDeformer(patch)
+		q := lat.DataID[[2]int{*d / 2, *d / 2}]
+		rec, err := df.IsolateQubit(q, "cli")
+		if err != nil {
+			return err
+		}
+		patch = df.Patch
+		fmt.Printf("isolated qubit %d: %v\n", q, rec)
+	}
+	c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: *rounds, Basis: lattice.BasisZ, Noise: code.UniformNoise(*p)})
+	if err != nil {
+		return err
+	}
+	res, err := decoder.Evaluate(c, decoder.KindUnionFind, *shots, *rounds, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v d=%d p=%.3g rounds=%d: %v (per-round %.4g)\n", tp, *d, *p, *rounds, res, res.PerRoundLER)
+	return nil
+}
+
+func cmdInstructions() error {
+	for _, kind := range []lattice.Kind{lattice.Square, lattice.HeavyHex} {
+		fmt.Printf("%-10s:", kind)
+		for _, op := range deform.InstructionSet(kind) {
+			fmt.Printf(" %s", op)
+		}
+		fmt.Println()
+	}
+	return nil
+}

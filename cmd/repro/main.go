@@ -1,0 +1,58 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -exp fig10          # one experiment
+//	repro -exp all            # everything, in paper order
+//	repro -list               # list experiment IDs
+//	repro -exp table2 -seed 7 # alternate seed
+package main
+
+import (
+	"caliqec/internal/exp"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed   = flag.Uint64("seed", 2025, "random seed")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		outDir = flag.String("o", "", "also write <id>.json and <id>.csv into this directory")
+	)
+	flag.Parse()
+	reg := exp.All()
+	if *list {
+		for _, id := range exp.Order() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := exp.Order()
+	if *which != "all" {
+		if _, ok := reg[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *which)
+			os.Exit(2)
+		}
+		ids = []string{*which}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := reg[id](*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *outDir != "" {
+			if err := rep.WriteFiles(*outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing files: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

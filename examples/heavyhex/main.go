@@ -1,0 +1,85 @@
+// Heavy-hexagon deformation walk-through: applies each instruction of the
+// heavy-hex CaliQEC instruction set (paper §6.1, Fig. 8) to a distance-5
+// patch and prints the resulting gauge/super-stabilizer structure, then
+// reintegrates and verifies the patch is pristine again.
+//
+//	go run ./examples/heavyhex
+package main
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/deform"
+	"caliqec/internal/lattice"
+	"fmt"
+	"log"
+)
+
+func describe(p *code.Patch) {
+	supers, gauges := 0, 0
+	for _, c := range p.Checks {
+		if c.IsSuper() {
+			supers++
+		}
+		gauges += len(c.Gauges)
+	}
+	fmt.Printf("  %d checks (%d super-stabilizers), %d gauge operators, distance (%d, %d)\n",
+		len(p.Checks), supers, gauges,
+		p.Distance(lattice.BasisX), p.Distance(lattice.BasisZ))
+}
+
+func main() {
+	lat := lattice.NewHeavyHex(5)
+	fmt.Printf("heavy-hex d=5: %d qubits (%d data), %d plaquettes\n",
+		lat.NumQubits(), lat.NumData(), len(lat.Plaquettes))
+	fmt.Printf("instruction set: %v\n\n", deform.InstructionSet(lattice.HeavyHex))
+
+	// Locate an interior plaquette with a full 7-ancilla bridge:
+	// Bridge = [qa qb qc qd qe qf qg] in the paper's labelling.
+	var bridge []int
+	for _, pl := range lat.Plaquettes {
+		if pl.CellRow == 2 && pl.CellCol == 2 && len(pl.Bridge) == 7 {
+			bridge = pl.Bridge
+		}
+	}
+	if bridge == nil {
+		log.Fatal("no interior bridge found")
+	}
+
+	steps := []struct {
+		name   string
+		target int
+		expect string
+	}{
+		{"AncQ_RM_HorDeg2 (qd, plaquette middle)", bridge[3],
+			"s0 → gauges X{1,2}·X{3,4}; west/east Z neighbours merge into g2·g3"},
+		{"AncQ_RM_VerDeg2 (qb, shared segment)", bridge[1],
+			"X-super X1·s0'·s1 and Z-super Z2·g1'·g2 (Fig. 8d)"},
+		{"AncQ_RM_Deg3 (qc, data-attached)", bridge[2],
+			"orphaned data qubit leaves the code as an isolated gauge qubit (Fig. 8e)"},
+		{"DataQ_RM (a data qubit)", lat.DataID[[2]int{2, 2}],
+			"both bases merge into super-stabilizers around the hole (Fig. 4a)"},
+	}
+	for _, st := range steps {
+		patch := code.NewPatch(lattice.NewHeavyHex(5))
+		d := deform.NewDeformer(patch)
+		fmt.Printf("%s\n  paper: %s\n", st.name, st.expect)
+		rec, err := d.IsolateQubit(st.target, "demo")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  applied: %v\n", rec)
+		describe(d.Patch)
+		if err := d.Patch.Validate(); err != nil {
+			log.Fatalf("  INVALID: %v", err)
+		}
+		if err := d.Reintegrate("demo"); err != nil {
+			log.Fatal(err)
+		}
+		if err := d.Patch.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  reintegrated: %d checks, distance (%d, %d)\n\n",
+			len(d.Patch.Checks), d.Patch.Distance(lattice.BasisX), d.Patch.Distance(lattice.BasisZ))
+	}
+	fmt.Println("every instruction left a valid code and reintegrated cleanly")
+}

@@ -1,0 +1,57 @@
+// Hubbard: a Table-2-style evaluation of the Hubbard-10-10 quantum
+// chemistry benchmark under the three calibration strategies (no
+// calibration, Logical-Swap-for-Calibration, CaliQEC) at two code
+// distances, printing physical qubits, execution time, calibration volume
+// and retry risk.
+//
+//	go run ./examples/hubbard
+package main
+
+import (
+	"caliqec/internal/runtime"
+	"caliqec/internal/workload"
+	"fmt"
+	"log"
+)
+
+func main() {
+	prog := workload.Hubbard(10, 10)
+	fmt.Printf("benchmark: %v\n", prog)
+	fmt.Printf("paper Table 2 row (d=25): NoCal 9.81e5 qubits / 5.29 h / ~100%%;" +
+		" LSC 4.65e6 / 5.74 h / 11.3%%; CaliQEC 1.53e6 / 5.29 h / 3.13%%\n\n")
+
+	for _, cfg := range []struct {
+		d      int
+		target float64
+	}{{25, 0.01}, {27, 0.001}} {
+		fmt.Printf("d=%d (retry-risk budget %.2g):\n", cfg.d, cfg.target)
+		c := runtime.Config{
+			Prog:        prog,
+			D:           cfg.d,
+			RetryTarget: cfg.target,
+			Seed:        2025,
+		}
+		var noCal *runtime.Result
+		for _, strat := range []runtime.Strategy{
+			runtime.StrategyNoCal, runtime.StrategyLSC, runtime.StrategyCaliQEC,
+		} {
+			res, err := runtime.Run(c, strat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			extra := ""
+			if strat == runtime.StrategyNoCal {
+				noCal = res
+			} else {
+				extra = fmt.Sprintf("  (qubits %+.0f%%, time %+.1f%%)",
+					100*(res.PhysicalQubits/noCal.PhysicalQubits-1),
+					100*(res.ExecHours/noCal.ExecHours-1))
+			}
+			fmt.Printf("  %v%s\n", res, extra)
+		}
+		fmt.Println()
+	}
+	fmt.Println("shape to observe: no-calibration fails (~100% retry risk); LSC pays ~4x")
+	fmt.Println("qubits and ~10-15% time for percent-level risk; CaliQEC reaches lower")
+	fmt.Println("risk with ~12-17% extra qubits and zero time overhead.")
+}

@@ -1,0 +1,85 @@
+// Insitucycle: the capstone demonstration — one continuous surface-code
+// memory experiment that runs *through* a CaliQEC calibration cycle
+// (pristine → isolate a drifting qubit via DataQ_RM → calibrate →
+// reintegrate → pristine), with gauge-fixing detectors linking the epochs,
+// Monte-Carlo sampled and decoded end to end.
+//
+//	go run ./examples/insitucycle
+//
+// The paper argues through the analytic Eq. (4) that deformation preserves
+// error protection (Fig. 10); this example measures it directly at the
+// circuit level.
+package main
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/deform"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"fmt"
+	"log"
+)
+
+func main() {
+	const (
+		d      = 5
+		p      = 2e-3
+		rounds = 3
+		shots  = 50000
+	)
+	mk := func() *code.Patch { return code.NewPatch(lattice.NewSquare(d)) }
+
+	// The deformed middle epoch: the drifting qubit's region is isolated.
+	iso := mk()
+	df := deform.NewDeformer(iso)
+	target := iso.Lat.DataID[[2]int{2, 2}]
+	rec, err := df.IsolateQubit(target, "cal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isolating qubit %d for calibration: %v\n", target, rec)
+	supers := 0
+	for _, c := range df.Patch.Checks {
+		if c.IsSuper() {
+			supers++
+		}
+	}
+	fmt.Printf("deformed patch: %d checks (%d super-stabilizers), distance (%d, %d)\n\n",
+		len(df.Patch.Checks), supers,
+		df.Patch.Distance(lattice.BasisX), df.Patch.Distance(lattice.BasisZ))
+
+	epochs := []code.Epoch{
+		{Patch: mk(), Rounds: rounds},     // before calibration
+		{Patch: df.Patch, Rounds: rounds}, // during: qubit isolated
+		{Patch: mk(), Rounds: rounds},     // after: reintegrated
+	}
+	cycle, err := code.TimelineCircuit(epochs, code.TimelineOptions{
+		Basis: lattice.BasisZ, Noise: code.UniformNoise(p),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("timeline circuit: %d instructions, %d detectors (incl. gauge-fixing transition detectors), %d measurement bits\n",
+		len(cycle.Instructions), cycle.NumDetectors, cycle.NumMeas)
+
+	cres, err := decoder.EvaluateParallel(cycle, decoder.KindUnionFind, shots, 3*rounds, 0, rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	static := mk()
+	sc, err := static.MemoryCircuit(code.MemoryOptions{Rounds: 3 * rounds, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := decoder.EvaluateParallel(sc, decoder.KindUnionFind, shots, 3*rounds, 0, rng.New(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstatic code (9 rounds):       %v\n", sres)
+	fmt.Printf("calibration cycle (9 rounds): %v\n", cres)
+	if sres.LER > 0 {
+		fmt.Printf("\nthe full isolate→calibrate→reintegrate cycle costs %.2fx the static LER —\n", cres.LER/sres.LER)
+		fmt.Println("in-situ calibration preserves the code's protection, measured at the circuit level.")
+	}
+}

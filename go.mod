@@ -1,0 +1,3 @@
+module caliqec
+
+go 1.22

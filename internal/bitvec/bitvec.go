@@ -1,0 +1,165 @@
+// Package bitvec implements dense bit vectors and bit matrices over GF(2).
+//
+// Two consumers drive the design:
+//
+//   - internal/sim packs 64 Monte-Carlo shots into each machine word, so the
+//     Pauli-frame simulator advances 64 shots per logical operation; and
+//   - internal/code uses F2 linear algebra (rank, nullspace, solving) to
+//     verify stabilizer-group invariants and compute code distances after
+//     deformation.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a bit vector of fixed length N stored 64 bits per word.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// NewVec returns an all-zero vector of length n.
+func NewVec(n int) *Vec {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (v *Vec) Len() int { return v.n }
+
+// Get reports bit i.
+func (v *Vec) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Set assigns bit i.
+func (v *Vec) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		v.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip toggles bit i.
+func (v *Vec) Flip(i int) {
+	v.check(i)
+	v.words[i>>6] ^= 1 << (uint(i) & 63)
+}
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Xor sets v ^= o. Lengths must match.
+func (v *Vec) Xor(o *Vec) {
+	if v.n != o.n {
+		panic("bitvec: Xor length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+}
+
+// And sets v &= o. Lengths must match.
+func (v *Vec) And(o *Vec) {
+	if v.n != o.n {
+		panic("bitvec: And length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// PopCount returns the number of set bits.
+func (v *Vec) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Dot returns the GF(2) inner product <v, o> (parity of the AND).
+func (v *Vec) Dot(o *Vec) bool {
+	if v.n != o.n {
+		panic("bitvec: Dot length mismatch")
+	}
+	var acc uint64
+	for i := range v.words {
+		acc ^= v.words[i] & o.words[i]
+	}
+	return bits.OnesCount64(acc)&1 == 1
+}
+
+// IsZero reports whether every bit is clear.
+func (v *Vec) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (v *Vec) Clone() *Vec {
+	c := NewVec(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// Clear zeroes every bit.
+func (v *Vec) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Equal reports element-wise equality.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the indices of set bits in increasing order.
+func (v *Vec) Ones() []int {
+	var out []int
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the vector as e.g. "0110…" (LSB first).
+func (v *Vec) String() string {
+	var sb strings.Builder
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

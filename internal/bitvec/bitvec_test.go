@@ -1,0 +1,189 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(130)
+	if v.Len() != 130 || !v.IsZero() {
+		t.Fatal("fresh vec not empty")
+	}
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	if v.PopCount() != 3 {
+		t.Errorf("popcount %d, want 3", v.PopCount())
+	}
+	ones := v.Ones()
+	if len(ones) != 3 || ones[0] != 0 || ones[1] != 64 || ones[2] != 129 {
+		t.Errorf("Ones = %v", ones)
+	}
+	v.Flip(64)
+	if v.Get(64) {
+		t.Error("flip failed")
+	}
+	v.Clear()
+	if !v.IsZero() {
+		t.Error("clear failed")
+	}
+}
+
+func TestVecPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewVec(10).Get(10)
+}
+
+func randVec(seed int64, n int) *Vec {
+	v := NewVec(n)
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if x&1 == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Property: Dot(a,b) = parity(popcount(a AND b)).
+func TestDotMatchesAndParity(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := randVec(a, 97), randVec(b, 97)
+		and := va.Clone()
+		and.And(vb)
+		return va.Dot(vb) == (and.PopCount()%2 == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Xor is an involution.
+func TestXorInvolution(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := randVec(a, 70), randVec(b, 70)
+		orig := va.Clone()
+		va.Xor(vb)
+		va.Xor(vb)
+		return va.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixRank(t *testing.T) {
+	// Identity has full rank.
+	m := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		m.Set(i, i, true)
+	}
+	if m.Rank() != 5 {
+		t.Errorf("identity rank %d", m.Rank())
+	}
+	// Duplicate row reduces rank.
+	m2 := NewMatrix(3, 4)
+	for j := 0; j < 4; j++ {
+		m2.Set(0, j, j%2 == 0)
+		m2.Set(1, j, j%2 == 0)
+		m2.Set(2, j, true)
+	}
+	if m2.Rank() != 2 {
+		t.Errorf("rank %d, want 2", m2.Rank())
+	}
+}
+
+func TestInRowSpace(t *testing.T) {
+	m := NewMatrix(2, 4)
+	m.Set(0, 0, true)
+	m.Set(0, 1, true) // 1100
+	m.Set(1, 2, true)
+	m.Set(1, 3, true) // 0011
+	sum := NewVec(4)  // 1111 = row0 ^ row1
+	for j := 0; j < 4; j++ {
+		sum.Set(j, true)
+	}
+	if !m.InRowSpace(sum) {
+		t.Error("1111 should be in row space")
+	}
+	one := NewVec(4)
+	one.Set(0, true)
+	if m.InRowSpace(one) {
+		t.Error("1000 should not be in row space")
+	}
+}
+
+// Property: Solve returns x with m·x = b whenever it claims success, and a
+// constructed consistent system always succeeds.
+func TestSolveConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		const rows, cols = 9, 14
+		m := NewMatrix(rows, cols)
+		x := uint64(seed)*2862933555777941757 + 3037000493
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				m.Set(i, j, x&3 == 0)
+			}
+		}
+		// Build b = m·x0 for a random x0: must be solvable.
+		x0 := randVec(seed^0x5555, cols)
+		b := m.MulVec(x0)
+		sol, ok := m.Solve(b)
+		if !ok {
+			return false
+		}
+		return m.MulVec(sol).Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every nullspace basis vector is annihilated by the matrix, and
+// rank + nullity = cols.
+func TestNullspace(t *testing.T) {
+	f := func(seed int64) bool {
+		const rows, cols = 7, 11
+		m := NewMatrix(rows, cols)
+		x := uint64(seed) ^ 0x9e3779b97f4a7c15
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				m.Set(i, j, x&1 == 1)
+			}
+		}
+		basis := m.NullspaceBasis()
+		for _, v := range basis {
+			if !m.MulVec(v).IsZero() {
+				return false
+			}
+		}
+		return m.Rank()+len(basis) == cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// 0-matrix with nonzero rhs is inconsistent.
+	m := NewMatrix(2, 3)
+	b := NewVec(2)
+	b.Set(0, true)
+	if _, ok := m.Solve(b); ok {
+		t.Error("zero system with nonzero rhs should be unsolvable")
+	}
+}

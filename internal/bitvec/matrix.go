@@ -1,0 +1,174 @@
+package bitvec
+
+import "fmt"
+
+// Matrix is a dense GF(2) matrix stored row-major, one Vec per row.
+type Matrix struct {
+	rows, cols int
+	data       []*Vec
+}
+
+// NewMatrix returns an all-zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	m := &Matrix{rows: rows, cols: cols, data: make([]*Vec, rows)}
+	for i := range m.data {
+		m.data[i] = NewVec(cols)
+	}
+	return m
+}
+
+// FromRows builds a matrix from existing row vectors (not copied). All rows
+// must share the same length; an empty input yields a 0×0 matrix.
+func FromRows(rows []*Vec) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := rows[0].Len()
+	for _, r := range rows {
+		if r.Len() != c {
+			panic("bitvec: FromRows ragged input")
+		}
+	}
+	return &Matrix{rows: len(rows), cols: c, data: rows}
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i (aliased, not copied).
+func (m *Matrix) Row(i int) *Vec { return m.data[i] }
+
+// Get reports entry (i, j).
+func (m *Matrix) Get(i, j int) bool { return m.data[i].Get(j) }
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, b bool) { m.data[i].Set(j, b) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]*Vec, m.rows)}
+	for i, r := range m.data {
+		c.data[i] = r.Clone()
+	}
+	return c
+}
+
+// Rank returns the GF(2) rank, computed on a copy via Gaussian elimination.
+func (m *Matrix) Rank() int {
+	c := m.Clone()
+	_, rank := c.rowReduce()
+	return rank
+}
+
+// rowReduce performs in-place Gauss–Jordan elimination and returns the pivot
+// column of each pivot row plus the rank. After the call the first rank rows
+// are in reduced row-echelon form.
+func (m *Matrix) rowReduce() (pivots []int, rank int) {
+	r := 0
+	for c := 0; c < m.cols && r < m.rows; c++ {
+		// Find a pivot at or below row r.
+		p := -1
+		for i := r; i < m.rows; i++ {
+			if m.data[i].Get(c) {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		m.data[r], m.data[p] = m.data[p], m.data[r]
+		for i := 0; i < m.rows; i++ {
+			if i != r && m.data[i].Get(c) {
+				m.data[i].Xor(m.data[r])
+			}
+		}
+		pivots = append(pivots, c)
+		r++
+	}
+	return pivots, r
+}
+
+// InRowSpace reports whether v lies in the row space of m (i.e. is a GF(2)
+// linear combination of the rows). The stabilizer code machinery uses this
+// to check that a candidate logical operator is or is not a stabilizer.
+func (m *Matrix) InRowSpace(v *Vec) bool {
+	if v.Len() != m.cols {
+		panic("bitvec: InRowSpace length mismatch")
+	}
+	c := m.Clone()
+	pivots, rank := c.rowReduce()
+	res := v.Clone()
+	for i := 0; i < rank; i++ {
+		if res.Get(pivots[i]) {
+			res.Xor(c.data[i])
+		}
+	}
+	return res.IsZero()
+}
+
+// Solve finds any x with m·x = b (column-vector convention), returning
+// (x, true) on success or (nil, false) if the system is inconsistent.
+func (m *Matrix) Solve(b *Vec) (*Vec, bool) {
+	if b.Len() != m.rows {
+		panic(fmt.Sprintf("bitvec: Solve rhs length %d != rows %d", b.Len(), m.rows))
+	}
+	// Build augmented matrix [m | b] and eliminate.
+	aug := NewMatrix(m.rows, m.cols+1)
+	for i := 0; i < m.rows; i++ {
+		row := aug.data[i]
+		for _, j := range m.data[i].Ones() {
+			row.Set(j, true)
+		}
+		row.Set(m.cols, b.Get(i))
+	}
+	pivots, rank := aug.rowReduce()
+	x := NewVec(m.cols)
+	for i := 0; i < rank; i++ {
+		if pivots[i] == m.cols {
+			return nil, false // pivot in the augmented column: inconsistent
+		}
+		x.Set(pivots[i], aug.data[i].Get(m.cols))
+	}
+	return x, true
+}
+
+// NullspaceBasis returns a basis of {x : m·x = 0} as row vectors.
+func (m *Matrix) NullspaceBasis() []*Vec {
+	c := m.Clone()
+	pivots, rank := c.rowReduce()
+	isPivot := make([]bool, m.cols)
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	var basis []*Vec
+	for free := 0; free < m.cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		v := NewVec(m.cols)
+		v.Set(free, true)
+		for i := 0; i < rank; i++ {
+			if c.data[i].Get(free) {
+				v.Set(pivots[i], true)
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// MulVec returns m·x over GF(2) (length = rows).
+func (m *Matrix) MulVec(x *Vec) *Vec {
+	if x.Len() != m.cols {
+		panic("bitvec: MulVec length mismatch")
+	}
+	out := NewVec(m.rows)
+	for i := 0; i < m.rows; i++ {
+		out.Set(i, m.data[i].Dot(x))
+	}
+	return out
+}

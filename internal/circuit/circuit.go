@@ -1,0 +1,190 @@
+// Package circuit defines the stabilizer-circuit intermediate representation
+// shared by the Monte-Carlo frame simulator (internal/sim) and the detector
+// error model extractor (internal/dem).
+//
+// The IR mirrors the subset of Stim's language that quantum-error-correction
+// sampling needs: Clifford gates, resets and measurements in the Z and X
+// bases, circuit-level noise channels, and DETECTOR / OBSERVABLE_INCLUDE
+// annotations over the measurement record. Circuits are flat instruction
+// lists; repetition is handled by the builder (Repeat) which unrolls rounds
+// at construction time, keeping both consumers simple.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpCode enumerates instruction kinds.
+type OpCode uint8
+
+// Instruction opcodes.
+const (
+	// Gates. Targets are qubit indices; two-qubit gates take pairs.
+	OpH    OpCode = iota // Hadamard
+	OpS                  // Phase gate (Z^{1/2})
+	OpCX                 // Controlled-X, targets (control, target) pairs
+	OpCZ                 // Controlled-Z, targets as unordered pairs
+	OpSwap               // SWAP, targets as pairs
+
+	// State preparation and measurement. Arg on OpM / OpMX is the classical
+	// readout flip probability; Arg on resets is the reset error probability
+	// (an X error after |0> reset, a Z error after |+> reset).
+	OpReset  // reset to |0>
+	OpResetX // reset to |+>
+	OpM      // Z-basis measurement, appends one record bit per target
+	OpMX     // X-basis measurement, appends one record bit per target
+
+	// Noise channels. Arg is the total error probability.
+	OpDepolarize1 // uniform {X,Y,Z} with probability Arg
+	OpDepolarize2 // uniform 15 two-qubit Paulis with probability Arg, pairs
+	OpXError      // X with probability Arg
+	OpZError      // Z with probability Arg
+	OpYError      // Y with probability Arg
+
+	// Annotations. Detectors and observables reference absolute measurement
+	// record indices (resolved by the Builder from relative offsets).
+	OpDetector
+	OpObservable // observable include; Targets[0] is the observable index in Recs? see Instruction
+	OpTick       // timing marker (one QEC-cycle boundary); no effect on state
+)
+
+var opNames = map[OpCode]string{
+	OpH: "H", OpS: "S", OpCX: "CX", OpCZ: "CZ", OpSwap: "SWAP",
+	OpReset: "R", OpResetX: "RX", OpM: "M", OpMX: "MX",
+	OpDepolarize1: "DEPOLARIZE1", OpDepolarize2: "DEPOLARIZE2",
+	OpXError: "X_ERROR", OpZError: "Z_ERROR", OpYError: "Y_ERROR",
+	OpDetector: "DETECTOR", OpObservable: "OBSERVABLE_INCLUDE", OpTick: "TICK",
+}
+
+// String returns the Stim-style mnemonic.
+func (o OpCode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpCode(%d)", uint8(o))
+}
+
+// IsNoise reports whether the opcode is a stochastic error channel.
+func (o OpCode) IsNoise() bool {
+	switch o {
+	case OpDepolarize1, OpDepolarize2, OpXError, OpZError, OpYError:
+		return true
+	}
+	return false
+}
+
+// IsTwoQubit reports whether targets are consumed in pairs.
+func (o OpCode) IsTwoQubit() bool {
+	switch o {
+	case OpCX, OpCZ, OpSwap, OpDepolarize2:
+		return true
+	}
+	return false
+}
+
+// Instruction is one IR operation.
+type Instruction struct {
+	Op      OpCode
+	Targets []int   // qubit indices (pairs flattened for two-qubit ops)
+	Arg     float64 // probability for noise/measurement ops
+	Recs    []int   // absolute measurement indices (OpDetector/OpObservable)
+	Index   int     // detector index, or observable index, for annotations
+}
+
+// String renders the instruction in a Stim-like textual form.
+func (in Instruction) String() string {
+	var sb strings.Builder
+	sb.WriteString(in.Op.String())
+	if in.Arg != 0 {
+		fmt.Fprintf(&sb, "(%g)", in.Arg)
+	}
+	switch in.Op {
+	case OpDetector, OpObservable:
+		if in.Op == OpObservable {
+			fmt.Fprintf(&sb, " L%d", in.Index)
+		} else {
+			fmt.Fprintf(&sb, " D%d", in.Index)
+		}
+		for _, r := range in.Recs {
+			fmt.Fprintf(&sb, " rec[%d]", r)
+		}
+	default:
+		for _, t := range in.Targets {
+			fmt.Fprintf(&sb, " %d", t)
+		}
+	}
+	return sb.String()
+}
+
+// Circuit is a flat, fully unrolled stabilizer circuit.
+type Circuit struct {
+	Instructions []Instruction
+	NumQubits    int
+	NumMeas      int // total measurement record bits
+	NumDetectors int
+	NumObs       int
+}
+
+// String renders the whole circuit, one instruction per line.
+func (c *Circuit) String() string {
+	lines := make([]string, 0, len(c.Instructions))
+	for _, in := range c.Instructions {
+		lines = append(lines, in.String())
+	}
+	return strings.Join(lines, "\n")
+}
+
+// CountOps returns the number of instructions with the given opcode.
+func (c *Circuit) CountOps(op OpCode) int {
+	n := 0
+	for _, in := range c.Instructions {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: target indices in range, two-qubit
+// target lists of even length with distinct qubits per pair, record indices
+// in range and increasing detector/observable bookkeeping.
+func (c *Circuit) Validate() error {
+	meas := 0
+	for i, in := range c.Instructions {
+		for _, t := range in.Targets {
+			if t < 0 || t >= c.NumQubits {
+				return fmt.Errorf("circuit: instr %d (%s): qubit %d out of range [0,%d)", i, in.Op, t, c.NumQubits)
+			}
+		}
+		if in.Op.IsTwoQubit() {
+			if len(in.Targets)%2 != 0 {
+				return fmt.Errorf("circuit: instr %d (%s): odd target count", i, in.Op)
+			}
+			for j := 0; j < len(in.Targets); j += 2 {
+				if in.Targets[j] == in.Targets[j+1] {
+					return fmt.Errorf("circuit: instr %d (%s): pair targets equal (%d)", i, in.Op, in.Targets[j])
+				}
+			}
+		}
+		switch in.Op {
+		case OpM, OpMX:
+			meas += len(in.Targets)
+		case OpDetector, OpObservable:
+			for _, r := range in.Recs {
+				if r < 0 || r >= meas {
+					return fmt.Errorf("circuit: instr %d (%s): rec %d out of range [0,%d)", i, in.Op, r, meas)
+				}
+			}
+		}
+		if in.Op.IsNoise() || in.Op == OpM || in.Op == OpMX || in.Op == OpReset || in.Op == OpResetX {
+			if in.Arg < 0 || in.Arg > 1 {
+				return fmt.Errorf("circuit: instr %d (%s): probability %g out of [0,1]", i, in.Op, in.Arg)
+			}
+		}
+	}
+	if meas != c.NumMeas {
+		return fmt.Errorf("circuit: recorded %d measurements but NumMeas=%d", meas, c.NumMeas)
+	}
+	return nil
+}

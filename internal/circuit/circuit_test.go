@@ -1,0 +1,120 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.Reset(0, 0, 1, 2, 3)
+	b.H(0)
+	b.CX(0, 1, 1, 2)
+	recs := b.M(0.01, 0, 1)
+	if recs[0] != 0 || recs[1] != 1 {
+		t.Errorf("record indices %v", recs)
+	}
+	b.Detector(recs[0], recs[1])
+	b.Observable(0, recs[0])
+	c := b.Build()
+	if c.NumMeas != 2 || c.NumDetectors != 1 || c.NumObs != 1 {
+		t.Errorf("counts: meas=%d det=%d obs=%d", c.NumMeas, c.NumDetectors, c.NumObs)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectorRel(t *testing.T) {
+	b := NewBuilder(2)
+	b.M(0, 0)
+	b.M(0, 1)
+	idx := b.DetectorRel(-1, -2)
+	if idx != 0 {
+		t.Errorf("detector index %d", idx)
+	}
+	c := b.Build()
+	var det *Instruction
+	for i := range c.Instructions {
+		if c.Instructions[i].Op == OpDetector {
+			det = &c.Instructions[i]
+		}
+	}
+	if det == nil || det.Recs[0] != 1 || det.Recs[1] != 0 {
+		t.Errorf("rel resolution wrong: %+v", det)
+	}
+}
+
+func TestRepeatUnrolls(t *testing.T) {
+	b := NewBuilder(1)
+	b.Repeat(5, func(round int) {
+		b.M(0, 0)
+		if round > 0 {
+			b.DetectorRel(-1, -2)
+		}
+	})
+	c := b.Build()
+	if c.NumMeas != 5 || c.NumDetectors != 4 {
+		t.Errorf("meas=%d det=%d", c.NumMeas, c.NumDetectors)
+	}
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	c := &Circuit{NumQubits: 2, Instructions: []Instruction{{Op: OpH, Targets: []int{5}}}}
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range qubit not caught")
+	}
+	c2 := &Circuit{NumQubits: 2, Instructions: []Instruction{{Op: OpCX, Targets: []int{1, 1}}}}
+	if err := c2.Validate(); err == nil {
+		t.Error("self-CX not caught")
+	}
+	c3 := &Circuit{NumQubits: 1, Instructions: []Instruction{{Op: OpXError, Targets: []int{0}, Arg: 1.5}}}
+	if err := c3.Validate(); err == nil {
+		t.Error("probability > 1 not caught")
+	}
+}
+
+func TestBuilderPanicsOnOddPairs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBuilder(3).CX(0, 1, 2)
+}
+
+func TestStringRendering(t *testing.T) {
+	b := NewBuilder(2)
+	b.H(0)
+	b.Depolarize2(0.001, 0, 1)
+	r := b.M(0.01, 1)
+	b.Detector(r[0])
+	c := b.Build()
+	s := c.String()
+	for _, want := range []string{"H 0", "DEPOLARIZE2(0.001) 0 1", "M(0.01) 1", "DETECTOR D0 rec[0]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestCountOps(t *testing.T) {
+	b := NewBuilder(2)
+	b.H(0)
+	b.H(1)
+	b.CX(0, 1)
+	c := b.Build()
+	if c.CountOps(OpH) != 2 || c.CountOps(OpCX) != 1 {
+		t.Error("CountOps wrong")
+	}
+}
+
+func TestNoiseZeroSkipped(t *testing.T) {
+	b := NewBuilder(1)
+	b.Depolarize1(0, 0)
+	b.XError(0, 0)
+	c := b.Build()
+	if len(c.Instructions) != 0 {
+		t.Errorf("zero-probability noise should be elided, got %d instrs", len(c.Instructions))
+	}
+}

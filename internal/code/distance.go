@@ -1,0 +1,169 @@
+package code
+
+import (
+	"caliqec/internal/lattice"
+	"caliqec/internal/pauli"
+	"math/bits"
+)
+
+// Distance returns the patch's code distance for the given logical basis
+// via shortest-path analysis of the matching graph:
+//
+//   - the Z distance (basis Z: minimum-weight logical Z) is the shortest
+//     west→east chain of data qubits where consecutive qubits share an
+//     active X check;
+//   - the X distance (basis X) is the shortest north→south chain where
+//     consecutive qubits share an active Z check.
+//
+// Deformation is handled naturally: a super-stabilizer is a single node, so
+// holes shorten paths exactly as distance loss demands. For matchable codes
+// (which all CaliQEC deformations preserve) this equals the true minimum
+// logical weight; BruteDistance provides the exact cross-check for small
+// patches.
+func (p *Patch) Distance(basis lattice.Basis) int {
+	checkBasis := lattice.BasisX // checks that detect the errors of `basis`
+	if basis == lattice.BasisX {
+		checkBasis = lattice.BasisZ
+	}
+	// Node IDs: check index within filtered list; two virtual boundaries.
+	var checks []*Check
+	for _, c := range p.Checks {
+		if c.Basis == checkBasis {
+			checks = append(checks, c)
+		}
+	}
+	id := map[int]int{} // check ID -> node
+	for i, c := range checks {
+		id[c.ID] = i
+	}
+	bndA, bndB := len(checks), len(checks)+1
+	n := len(checks) + 2
+
+	// Boundary side of a data qubit with only one incident check: for Z
+	// distance the relevant boundaries are west/east (column extremes), for
+	// X distance north/south (row extremes).
+	side := func(q int) int {
+		qb := p.Lat.Qubit(q)
+		if basis == lattice.BasisZ {
+			if qb.Col <= (p.Lat.Cols-1)*4/2 {
+				return bndA
+			}
+			return bndB
+		}
+		if qb.Row <= (p.Lat.Rows-1)*4/2 {
+			return bndA
+		}
+		return bndB
+	}
+
+	adj := make([][]int, n)
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	_, dataIDs := p.DataIndex()
+	for _, q := range dataIDs {
+		var incident []int
+		for _, c := range checks {
+			if c.Operator().At(q) != pauli.I {
+				incident = append(incident, id[c.ID])
+			}
+		}
+		switch len(incident) {
+		case 2:
+			addEdge(incident[0], incident[1])
+		case 1:
+			addEdge(incident[0], side(q))
+		case 0:
+			// Unchecked data qubit: errors on it are invisible. A valid
+			// deformed code never produces this for an active qubit.
+		}
+	}
+	// BFS from boundary A to boundary B counting edges (= qubits).
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[bndA] = 0
+	queue := []int{bndA}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == bndB {
+			return dist[v]
+		}
+		for _, w := range adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return 0 // boundaries disconnected: no logical of this basis survives
+}
+
+// BruteDistance returns the exact minimum weight of a logical operator of
+// the given basis by enumerating data-qubit subsets in increasing weight.
+// A weight-w Z-type operator is logical iff it commutes with every X check
+// and anticommutes with the logical X. Exponential in the number of data
+// qubits; intended for patches with ≤ ~25 data qubits (d ≤ 5) in tests.
+func (p *Patch) BruteDistance(basis lattice.Basis) int {
+	checkBasis := lattice.BasisX
+	logical := p.LogicalOp(lattice.BasisX)
+	if basis == lattice.BasisX {
+		checkBasis = lattice.BasisZ
+		logical = p.LogicalOp(lattice.BasisZ)
+	}
+	idx, ids := p.DataIndex()
+	nd := len(ids)
+	// Precompute per-check and logical support masks.
+	var checkMasks []uint64
+	for _, c := range p.Checks {
+		if c.Basis != checkBasis {
+			continue
+		}
+		var m uint64
+		for _, q := range c.Support() {
+			if col, ok := idx[q]; ok {
+				m |= 1 << uint(col)
+			}
+		}
+		checkMasks = append(checkMasks, m)
+	}
+	var logMask uint64
+	for _, q := range logical.Support() {
+		if col, ok := idx[q]; ok {
+			logMask |= 1 << uint(col)
+		}
+	}
+	if nd > 30 {
+		panic("code: BruteDistance limited to ≤ 30 data qubits")
+	}
+	best := nd + 1
+	// Enumerate subsets by increasing popcount using Gosper's hack per
+	// weight class, stopping at the first weight with a logical.
+	for w := 1; w <= nd; w++ {
+		if w >= best {
+			break
+		}
+		v := uint64(1)<<uint(w) - 1
+		limit := uint64(1) << uint(nd)
+		for v < limit {
+			ok := true
+			for _, m := range checkMasks {
+				if bits.OnesCount64(v&m)&1 == 1 {
+					ok = false
+					break
+				}
+			}
+			if ok && bits.OnesCount64(v&logMask)&1 == 1 {
+				return w
+			}
+			// Gosper's hack: next subset with the same popcount.
+			c := v & -v
+			r := v + c
+			v = (((r ^ v) >> 2) / c) | r
+		}
+	}
+	return 0
+}

@@ -1,0 +1,381 @@
+// Package code implements surface-code patches: stabilizer checks and their
+// gauge factorizations, logical operators, syndrome-extraction circuit
+// generation for square and heavy-hexagon lattices, and code-distance
+// computation for pristine and deformed patches.
+//
+// The central abstraction is the Check/Gauge split. A Check is a stabilizer
+// of the (possibly deformed) code; its value each round is the product of
+// one or more Gauge measurements. A pristine patch has one single-gauge
+// check per lattice plaquette. Code deformation (internal/deform) splits
+// checks into multiple gauges and merges neighbouring checks into
+// super-stabilizers, exactly as in the paper's instruction set; the
+// detector for a check is always the round-to-round parity of all its gauge
+// outcomes, which stays deterministic under gauge fixing even when the
+// individual gauge outcomes randomize.
+package code
+
+import (
+	"caliqec/internal/bitvec"
+	"caliqec/internal/lattice"
+	"caliqec/internal/pauli"
+	"fmt"
+	"sort"
+)
+
+// Gauge is one directly-measurable operator: a product of single-qubit
+// Paulis (of the parent check's basis) over Data, measured through the
+// ancilla path Chain.
+type Gauge struct {
+	// Data lists the data-qubit support in measurement order.
+	Data []int
+	// Chain is the ancilla path used to measure the gauge. On the square
+	// lattice it is a single syndrome qubit that couples directly to every
+	// data qubit. On the heavy hexagon it is a connected sub-path of the
+	// plaquette bridge; data qubits couple at their attached degree-3
+	// ancillas.
+	Chain []int
+	// Attach maps chain ancillas to the data qubit they couple (heavy-hex
+	// only). Nil means square-style: every data qubit couples to Chain[0].
+	Attach map[int]int
+}
+
+// Clone returns a deep copy of the gauge.
+func (g *Gauge) Clone() *Gauge {
+	c := &Gauge{
+		Data:  append([]int(nil), g.Data...),
+		Chain: append([]int(nil), g.Chain...),
+	}
+	if g.Attach != nil {
+		c.Attach = make(map[int]int, len(g.Attach))
+		for k, v := range g.Attach {
+			c.Attach[k] = v
+		}
+	}
+	return c
+}
+
+// Check is one stabilizer of the current code.
+type Check struct {
+	ID    int
+	Basis lattice.Basis
+	// Gauges are the measurement units whose product is the check value.
+	// A pristine check has exactly one gauge.
+	Gauges []*Gauge
+	// Plaqs lists the lattice plaquettes this check descends from (more
+	// than one for super-stabilizers).
+	Plaqs []int
+}
+
+// Operator returns the check's Pauli operator on data qubits (the product
+// of its gauges; shared data qubits cancel).
+func (c *Check) Operator() *pauli.String {
+	p := pauli.I
+	if c.Basis == lattice.BasisX {
+		p = pauli.X
+	} else {
+		p = pauli.Z
+	}
+	s := pauli.NewString()
+	for _, g := range c.Gauges {
+		for _, q := range g.Data {
+			s.MulAt(q, p)
+		}
+	}
+	return s
+}
+
+// Support returns the sorted data-qubit support of the check operator.
+func (c *Check) Support() []int { return c.Operator().Support() }
+
+// IsSuper reports whether the check is a super-stabilizer (multiple gauges
+// or multiple source plaquettes).
+func (c *Check) IsSuper() bool { return len(c.Gauges) > 1 || len(c.Plaqs) > 1 }
+
+// Clone returns a deep copy of the check.
+func (c *Check) Clone() *Check {
+	n := &Check{ID: c.ID, Basis: c.Basis, Plaqs: append([]int(nil), c.Plaqs...)}
+	for _, g := range c.Gauges {
+		n.Gauges = append(n.Gauges, g.Clone())
+	}
+	return n
+}
+
+// Patch is a (possibly deformed) surface-code patch.
+type Patch struct {
+	Lat    *lattice.Lattice
+	Checks []*Check
+	// Removed marks physically isolated qubits (under calibration or
+	// excluded by deformation); they appear in no circuit.
+	Removed map[int]bool
+	// LogicalX is the data support of the logical X operator (a vertical
+	// column in the pristine patch); LogicalZ the logical Z (a horizontal
+	// row). Deformation may reroute them.
+	LogicalX, LogicalZ []int
+	nextID             int
+}
+
+// NewPatch builds the pristine patch over lat: one single-gauge check per
+// plaquette, logical X on data column 0, logical Z on data row 0.
+func NewPatch(lat *lattice.Lattice) *Patch {
+	p := &Patch{Lat: lat, Removed: map[int]bool{}}
+	for i := range lat.Plaquettes {
+		pl := &lat.Plaquettes[i]
+		g := &Gauge{}
+		if lat.Kind == lattice.Square {
+			g.Chain = []int{pl.Syndrome}
+			g.Data = measurementOrder(pl)
+		} else {
+			g.Chain = append([]int(nil), pl.Bridge...)
+			g.Attach = make(map[int]int, len(pl.DataAttach))
+			for k, v := range pl.DataAttach {
+				g.Attach[k] = v
+			}
+			// Data in path order (attachment order along the bridge).
+			for _, a := range pl.Bridge {
+				if d, ok := pl.DataAttach[a]; ok {
+					g.Data = append(g.Data, d)
+				}
+			}
+		}
+		p.Checks = append(p.Checks, &Check{
+			ID:     p.nextID,
+			Basis:  pl.Basis,
+			Gauges: []*Gauge{g},
+			Plaqs:  []int{pl.ID},
+		})
+		p.nextID++
+	}
+	for r := 0; r < lat.Rows; r++ {
+		p.LogicalX = append(p.LogicalX, lat.DataID[[2]int{r, 0}])
+	}
+	for c := 0; c < lat.Cols; c++ {
+		p.LogicalZ = append(p.LogicalZ, lat.DataID[[2]int{0, c}])
+	}
+	return p
+}
+
+// measurementOrder returns a plaquette's data qubits in the hook-safe CX
+// slot order: NW,NE,SW,SE for X checks ("Z" sweep) and NW,SW,NE,SE for Z
+// checks ("S" sweep), skipping absent corners.
+func measurementOrder(pl *lattice.Plaquette) []int {
+	order := [4]int{lattice.NW, lattice.NE, lattice.SW, lattice.SE}
+	if pl.Basis == lattice.BasisZ {
+		order = [4]int{lattice.NW, lattice.SW, lattice.NE, lattice.SE}
+	}
+	var out []int
+	for _, k := range order {
+		if pl.Corners[k] >= 0 {
+			out = append(out, pl.Corners[k])
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the patch (the lattice is shared; it is
+// immutable).
+func (p *Patch) Clone() *Patch {
+	n := &Patch{
+		Lat:      p.Lat,
+		Removed:  make(map[int]bool, len(p.Removed)),
+		LogicalX: append([]int(nil), p.LogicalX...),
+		LogicalZ: append([]int(nil), p.LogicalZ...),
+		nextID:   p.nextID,
+	}
+	for q := range p.Removed {
+		n.Removed[q] = true
+	}
+	for _, c := range p.Checks {
+		n.Checks = append(n.Checks, c.Clone())
+	}
+	return n
+}
+
+// CheckByID returns the check with the given ID, or nil.
+func (p *Patch) CheckByID(id int) *Check {
+	for _, c := range p.Checks {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// NewCheckID reserves and returns a fresh check ID.
+func (p *Patch) NewCheckID() int {
+	id := p.nextID
+	p.nextID++
+	return id
+}
+
+// RemoveCheck deletes the check with the given ID.
+func (p *Patch) RemoveCheck(id int) {
+	for i, c := range p.Checks {
+		if c.ID == id {
+			p.Checks = append(p.Checks[:i], p.Checks[i+1:]...)
+			return
+		}
+	}
+}
+
+// ChecksWithData returns active checks of the given basis whose operator
+// support contains data qubit q.
+func (p *Patch) ChecksWithData(q int, basis lattice.Basis) []*Check {
+	var out []*Check
+	for _, c := range p.Checks {
+		if c.Basis != basis {
+			continue
+		}
+		if c.Operator().At(q) != pauli.I {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LogicalOp returns the logical operator string for the given basis.
+func (p *Patch) LogicalOp(basis lattice.Basis) *pauli.String {
+	if basis == lattice.BasisX {
+		return pauli.FromSupport(pauli.X, p.LogicalX...)
+	}
+	return pauli.FromSupport(pauli.Z, p.LogicalZ...)
+}
+
+// ActiveQubits returns all non-removed qubit IDs referenced by the patch's
+// gauges (data and ancilla), sorted.
+func (p *Patch) ActiveQubits() []int {
+	seen := map[int]bool{}
+	for _, c := range p.Checks {
+		for _, g := range c.Gauges {
+			for _, q := range g.Data {
+				seen[q] = true
+			}
+			for _, a := range g.Chain {
+				seen[a] = true
+			}
+		}
+	}
+	for _, q := range p.LogicalX {
+		seen[q] = true
+	}
+	for _, q := range p.LogicalZ {
+		seen[q] = true
+	}
+	var out []int
+	for q := range seen {
+		if !p.Removed[q] {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks the stabilizer-code invariants of the current patch:
+//
+//  1. no check or gauge touches a removed qubit;
+//  2. every pair of check operators commutes;
+//  3. every check operator commutes with every gauge operator of every
+//     other check (the gauge-fixing requirement that stabilizers lie in
+//     the centralizer of the gauge group);
+//  4. both logical operators commute with all checks;
+//  5. the logical operators anticommute with each other.
+func (p *Patch) Validate() error {
+	gaugeOps := make([]*pauli.String, 0)
+	gaugeOwner := make([]int, 0)
+	for _, c := range p.Checks {
+		pl := pauli.Z
+		if c.Basis == lattice.BasisX {
+			pl = pauli.X
+		}
+		for _, g := range c.Gauges {
+			for _, q := range g.Data {
+				if p.Removed[q] {
+					return fmt.Errorf("code: check %d gauge touches removed data qubit %d", c.ID, q)
+				}
+			}
+			for _, a := range g.Chain {
+				if p.Removed[a] {
+					return fmt.Errorf("code: check %d gauge uses removed ancilla %d", c.ID, a)
+				}
+			}
+			gaugeOps = append(gaugeOps, pauli.FromSupport(pl, g.Data...))
+			gaugeOwner = append(gaugeOwner, c.ID)
+		}
+	}
+	ops := make([]*pauli.String, len(p.Checks))
+	for i, c := range p.Checks {
+		ops[i] = c.Operator()
+	}
+	for i := range ops {
+		for j := i + 1; j < len(ops); j++ {
+			if !ops[i].Commutes(ops[j]) {
+				return fmt.Errorf("code: checks %d and %d anticommute", p.Checks[i].ID, p.Checks[j].ID)
+			}
+		}
+	}
+	for i, c := range p.Checks {
+		for k, gop := range gaugeOps {
+			if gaugeOwner[k] == c.ID {
+				continue
+			}
+			if !ops[i].Commutes(gop) {
+				return fmt.Errorf("code: check %d anticommutes with a gauge of check %d", c.ID, gaugeOwner[k])
+			}
+		}
+	}
+	lx, lz := p.LogicalOp(lattice.BasisX), p.LogicalOp(lattice.BasisZ)
+	for i, c := range p.Checks {
+		if !ops[i].Commutes(lx) {
+			return fmt.Errorf("code: check %d anticommutes with logical X", c.ID)
+		}
+		if !ops[i].Commutes(lz) {
+			return fmt.Errorf("code: check %d anticommutes with logical Z", c.ID)
+		}
+	}
+	for _, q := range append(append([]int(nil), p.LogicalX...), p.LogicalZ...) {
+		if p.Removed[q] {
+			return fmt.Errorf("code: logical operator passes through removed qubit %d", q)
+		}
+	}
+	if lx.Commutes(lz) {
+		return fmt.Errorf("code: logical X and Z commute (should anticommute)")
+	}
+	return nil
+}
+
+// StabilizerMatrix returns the binary support matrix of the active checks
+// of the given basis: one row per check, one column per data qubit listed
+// in dataIdx order (a map from qubit ID to column).
+func (p *Patch) StabilizerMatrix(basis lattice.Basis, dataIdx map[int]int) *bitvec.Matrix {
+	var rows []*bitvec.Vec
+	for _, c := range p.Checks {
+		if c.Basis != basis {
+			continue
+		}
+		v := bitvec.NewVec(len(dataIdx))
+		for _, q := range c.Support() {
+			if col, ok := dataIdx[q]; ok {
+				v.Set(col, true)
+			}
+		}
+		rows = append(rows, v)
+	}
+	return bitvec.FromRows(rows)
+}
+
+// DataIndex returns a dense column index over the patch's non-removed data
+// qubits.
+func (p *Patch) DataIndex() (map[int]int, []int) {
+	idx := map[int]int{}
+	var ids []int
+	for r := 0; r < p.Lat.Rows; r++ {
+		for c := 0; c < p.Lat.Cols; c++ {
+			q := p.Lat.DataID[[2]int{r, c}]
+			if !p.Removed[q] {
+				idx[q] = len(ids)
+				ids = append(ids, q)
+			}
+		}
+	}
+	return idx, ids
+}

@@ -1,0 +1,211 @@
+package code
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"caliqec/internal/sim"
+	"testing"
+)
+
+func TestPristinePatchCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		for _, kind := range []lattice.Kind{lattice.Square, lattice.HeavyHex} {
+			var lat *lattice.Lattice
+			if kind == lattice.Square {
+				lat = lattice.NewSquare(d)
+			} else {
+				lat = lattice.NewHeavyHex(d)
+			}
+			p := NewPatch(lat)
+			if got, want := len(p.Checks), d*d-1; got != want {
+				t.Errorf("%v d=%d: %d checks, want %d", kind, d, got, want)
+			}
+			nx, nz := 0, 0
+			for _, c := range p.Checks {
+				if len(c.Gauges) != 1 {
+					t.Errorf("%v d=%d: pristine check %d has %d gauges", kind, d, c.ID, len(c.Gauges))
+				}
+				if c.Basis == lattice.BasisX {
+					nx++
+				} else {
+					nz++
+				}
+			}
+			if nx != nz {
+				t.Errorf("%v d=%d: %d X vs %d Z checks, want equal", kind, d, nx, nz)
+			}
+		}
+	}
+}
+
+func TestPristinePatchValidates(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		if err := NewPatch(lattice.NewSquare(d)).Validate(); err != nil {
+			t.Errorf("square d=%d: %v", d, err)
+		}
+		if err := NewPatch(lattice.NewHeavyHex(d)).Validate(); err != nil {
+			t.Errorf("heavy-hex d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestRectangularPatchValidates(t *testing.T) {
+	p := NewPatch(lattice.NewSquareRect(5, 7))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Distance(lattice.BasisX); got != 5 {
+		t.Errorf("X distance = %d, want 5 (rows)", got)
+	}
+	if got := p.Distance(lattice.BasisZ); got != 7 {
+		t.Errorf("Z distance = %d, want 7 (cols)", got)
+	}
+}
+
+func TestPristineDistance(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		for _, kind := range []lattice.Kind{lattice.Square, lattice.HeavyHex} {
+			var lat *lattice.Lattice
+			if kind == lattice.Square {
+				lat = lattice.NewSquare(d)
+			} else {
+				lat = lattice.NewHeavyHex(d)
+			}
+			p := NewPatch(lat)
+			if got := p.Distance(lattice.BasisX); got != d {
+				t.Errorf("%v d=%d: X distance %d", kind, d, got)
+			}
+			if got := p.Distance(lattice.BasisZ); got != d {
+				t.Errorf("%v d=%d: Z distance %d", kind, d, got)
+			}
+		}
+	}
+}
+
+func TestBruteDistanceMatchesGraph(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		p := NewPatch(lattice.NewSquare(d))
+		for _, basis := range []lattice.Basis{lattice.BasisX, lattice.BasisZ} {
+			graph := p.Distance(basis)
+			brute := p.BruteDistance(basis)
+			if graph != brute || brute != d {
+				t.Errorf("d=%d basis=%v: graph=%d brute=%d want %d", d, basis, graph, brute, d)
+			}
+		}
+	}
+}
+
+// TestNoiselessDetectorsZero is the load-bearing correctness test for
+// circuit generation: on a noiseless run every detector of the memory
+// experiment must be deterministic and zero, for both lattices, both memory
+// bases, and multiple rounds. The frame simulator's validity rests on this.
+func TestNoiselessDetectorsZero(t *testing.T) {
+	r := rng.New(7)
+	for _, kind := range []lattice.Kind{lattice.Square, lattice.HeavyHex} {
+		for _, basis := range []lattice.Basis{lattice.BasisZ, lattice.BasisX} {
+			var lat *lattice.Lattice
+			if kind == lattice.Square {
+				lat = lattice.NewSquare(3)
+			} else {
+				lat = lattice.NewHeavyHex(3)
+			}
+			p := NewPatch(lat)
+			c, err := p.MemoryCircuit(MemoryOptions{Rounds: 3, Basis: basis})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				res, err := sim.RunNoiseless(c, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range res.Detectors {
+					if v {
+						t.Fatalf("%v memory-%v: detector %d fired on noiseless run", kind, basis, i)
+					}
+				}
+				if res.Observables[0] {
+					t.Fatalf("%v memory-%v: observable flipped on noiseless run", kind, basis)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameMatchesNoiselessStructure: with zero noise the frame simulator
+// must report no detector or observable flips.
+func TestFrameNoiselessAllZero(t *testing.T) {
+	p := NewPatch(lattice.NewSquare(3))
+	c, err := p.MemoryCircuit(MemoryOptions{Rounds: 2, Basis: lattice.BasisZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := sim.NewFrameSimulator(c, rng.New(1))
+	fs.Sample(128, func(b sim.BatchResult) {
+		for i, w := range b.Detectors {
+			if w != 0 {
+				t.Fatalf("detector %d flipped with zero noise", i)
+			}
+		}
+		for _, w := range b.Observables {
+			if w != 0 {
+				t.Fatal("observable flipped with zero noise")
+			}
+		}
+	})
+}
+
+// TestInterleavedScheduleDeterministic: the simultaneous X/Z schedule must
+// also produce deterministic zero detectors noiselessly, and reject
+// deformed or heavy-hex patches.
+func TestInterleavedScheduleDeterministic(t *testing.T) {
+	r := rng.New(21)
+	for _, basis := range []lattice.Basis{lattice.BasisZ, lattice.BasisX} {
+		p := NewPatch(lattice.NewSquare(5))
+		c, err := p.MemoryCircuit(MemoryOptions{Rounds: 3, Basis: basis, Interleaved: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunNoiseless(c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Detectors {
+			if v {
+				t.Fatalf("memory-%v interleaved: detector %d fired noiselessly", basis, i)
+			}
+		}
+		if res.Observables[0] {
+			t.Fatalf("memory-%v interleaved: observable random", basis)
+		}
+	}
+	// Heavy-hex patches must be rejected.
+	hx := NewPatch(lattice.NewHeavyHex(3))
+	if _, err := hx.MemoryCircuit(MemoryOptions{Rounds: 1, Basis: lattice.BasisZ, Interleaved: true}); err == nil {
+		t.Error("interleaved schedule accepted a heavy-hex patch")
+	}
+}
+
+// TestInterleavedEquivalentCounts: under the per-gate noise model both
+// schedules apply the same operations (only the order differs), and both
+// must sustain error suppression — the interleaved LER may differ from the
+// sequential one only by an O(1) hook-structure factor.
+func TestInterleavedEquivalentCounts(t *testing.T) {
+	p := NewPatch(lattice.NewSquare(5))
+	seq, err := p.MemoryCircuit(MemoryOptions{Rounds: 4, Basis: lattice.BasisZ, Noise: UniformNoise(1e-3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	il, err := p.MemoryCircuit(MemoryOptions{Rounds: 4, Basis: lattice.BasisZ, Noise: UniformNoise(1e-3), Interleaved: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.CountOps(circuit.OpCX) != il.CountOps(circuit.OpCX) {
+		t.Errorf("CX counts differ: %d vs %d", seq.CountOps(circuit.OpCX), il.CountOps(circuit.OpCX))
+	}
+	if seq.NumMeas != il.NumMeas || seq.NumDetectors != il.NumDetectors {
+		t.Errorf("record structure differs: meas %d/%d det %d/%d",
+			seq.NumMeas, il.NumMeas, seq.NumDetectors, il.NumDetectors)
+	}
+}

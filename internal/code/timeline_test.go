@@ -1,0 +1,129 @@
+package code
+
+import (
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"caliqec/internal/sim"
+	"testing"
+)
+
+// timelineEpochs builds the canonical calibration cycle: pristine →
+// isolated (one interior data qubit off the logicals) → reintegrated, on
+// the given lattice kind. It uses the deformation semantics directly (the
+// deform package cannot be imported here without a cycle, so the isolation
+// is reproduced through the patch API: this mirrors deform.dataQRM).
+func timelineEpochs(t *testing.T, kind lattice.Kind, target [2]int) []Epoch {
+	t.Helper()
+	mk := func() *Patch {
+		if kind == lattice.Square {
+			return NewPatch(lattice.NewSquare(5))
+		}
+		return NewPatch(lattice.NewHeavyHex(5))
+	}
+	pristine := mk()
+	iso := mk()
+	q := iso.Lat.DataID[target]
+	// Inline DataQ_RM: drop q from all gauges, merge the two containing
+	// checks per basis.
+	iso.Removed[q] = true
+	for _, c := range iso.Checks {
+		for _, g := range c.Gauges {
+			out := g.Data[:0]
+			for _, d := range g.Data {
+				if d != q {
+					out = append(out, d)
+				}
+			}
+			g.Data = out
+			for a, d := range g.Attach {
+				if d == q {
+					delete(g.Attach, a)
+				}
+			}
+		}
+	}
+	for _, basis := range []lattice.Basis{lattice.BasisX, lattice.BasisZ} {
+		var group []*Check
+		for _, c := range iso.Checks {
+			if c.Basis != basis {
+				continue
+			}
+			for _, pl := range c.Plaqs {
+				for _, dq := range iso.Lat.Plaquettes[pl].Data {
+					if dq == q {
+						group = append(group, c)
+					}
+				}
+			}
+		}
+		if len(group) == 2 {
+			group[0].Gauges = append(group[0].Gauges, group[1].Gauges...)
+			group[0].Plaqs = append(group[0].Plaqs, group[1].Plaqs...)
+			iso.RemoveCheck(group[1].ID)
+		}
+	}
+	if err := iso.Validate(); err != nil {
+		t.Fatalf("isolated patch invalid: %v", err)
+	}
+	reint := mk()
+	return []Epoch{{pristine, 3}, {iso, 3}, {reint, 3}}
+}
+
+// TestTimelineNoiselessDeterministic is the acid test for gauge-fixing
+// across deformation transitions: a full isolate→reintegrate cycle must
+// produce only deterministic, zero-valued detectors on a noiseless run.
+func TestTimelineNoiselessDeterministic(t *testing.T) {
+	r := rng.New(3)
+	for _, kind := range []lattice.Kind{lattice.Square, lattice.HeavyHex} {
+		for _, basis := range []lattice.Basis{lattice.BasisZ, lattice.BasisX} {
+			epochs := timelineEpochs(t, kind, [2]int{2, 2})
+			c, err := TimelineCircuit(epochs, TimelineOptions{Basis: basis})
+			if err != nil {
+				t.Fatalf("%v %v: %v", kind, basis, err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				res, err := sim.RunNoiseless(c, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range res.Detectors {
+					if v {
+						t.Fatalf("%v memory-%v: timeline detector %d fired noiselessly", kind, basis, i)
+					}
+				}
+				if res.Observables[0] {
+					t.Fatalf("%v memory-%v: timeline observable not deterministic", kind, basis)
+				}
+			}
+		}
+	}
+}
+
+// TestTimelineHasTransitionDetectors: the circuit must carry detectors
+// linking epochs (more detectors than three isolated memory experiments
+// would have minus their initials would imply).
+func TestTimelineHasTransitionDetectors(t *testing.T) {
+	epochs := timelineEpochs(t, lattice.Square, [2]int{2, 2})
+	c, err := TimelineCircuit(epochs, TimelineOptions{Basis: lattice.BasisZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDetectors < 24*9-10 {
+		t.Errorf("only %d detectors; transitions appear to drop most comparisons", c.NumDetectors)
+	}
+	if c.NumObs != 1 {
+		t.Errorf("%d observables", c.NumObs)
+	}
+}
+
+// TestTimelineRejectsMovedLogical: deforming a qubit on the logical support
+// moves the representative; TimelineCircuit must refuse.
+func TestTimelineRejectsMovedLogical(t *testing.T) {
+	pristine := NewPatch(lattice.NewSquare(5))
+	moved := NewPatch(lattice.NewSquare(5))
+	moved.LogicalZ = append([]int(nil), moved.LogicalZ[1:]...) // corrupt support
+	_, err := TimelineCircuit([]Epoch{{pristine, 2}, {moved, 2}}, TimelineOptions{Basis: lattice.BasisZ})
+	if err == nil {
+		t.Fatal("moved logical accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package decoder
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/dem"
+	"caliqec/internal/rng"
+	"caliqec/internal/sim"
+	"fmt"
+	"math"
+)
+
+// Result summarizes a Monte-Carlo logical-error-rate measurement.
+type Result struct {
+	Shots       int
+	Failures    int     // shots where decoded prediction missed observable 0
+	LER         float64 // Failures / Shots (per run of the sampled circuit)
+	WilsonLo    float64 // 95% Wilson interval on LER
+	WilsonHi    float64
+	Rounds      int     // QEC rounds the circuit contained (caller-provided)
+	PerRoundLER float64 // LER converted to a per-round rate (if Rounds > 0)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("shots=%d failures=%d LER=%.3g [%.3g, %.3g]",
+		r.Shots, r.Failures, r.LER, r.WilsonLo, r.WilsonHi)
+}
+
+// DecoderKind selects which decoder Evaluate builds.
+type DecoderKind int
+
+// Available decoders.
+const (
+	KindUnionFind DecoderKind = iota
+	KindGreedy
+)
+
+// New builds a decoder of the given kind over g.
+func New(kind DecoderKind, g *Graph) Decoder {
+	switch kind {
+	case KindGreedy:
+		return NewGreedy(g)
+	default:
+		return NewUnionFind(g)
+	}
+}
+
+// Evaluate samples `shots` Monte-Carlo trajectories of c, decodes each with
+// the requested decoder, and returns the logical error rate of observable 0.
+// rounds is the number of QEC rounds in the circuit and is only used to
+// derive the per-round rate; pass 0 if not applicable.
+func Evaluate(c *circuit.Circuit, kind DecoderKind, shots, rounds int, r *rng.RNG) (Result, error) {
+	return EvaluateMismatched(c, c, kind, shots, rounds, r)
+}
+
+// EvaluateMismatched samples trajectories of `c` but builds the decoder
+// from `prior` — a circuit with identical structure whose noise rates
+// reflect what the decoder *believes* (e.g. the last calibration). This
+// models decoding with stale priors after error drift: the paper's drifted
+// scenarios run exactly this way, since the decoder is not told a gate has
+// drifted.
+func EvaluateMismatched(c, prior *circuit.Circuit, kind DecoderKind, shots, rounds int, r *rng.RNG) (Result, error) {
+	if c.NumDetectors != prior.NumDetectors || c.NumObs != prior.NumObs {
+		return Result{}, fmt.Errorf("decoder: prior circuit structure mismatch (%d/%d detectors, %d/%d observables)",
+			prior.NumDetectors, c.NumDetectors, prior.NumObs, c.NumObs)
+	}
+	model, err := dem.FromCircuit(prior)
+	if err != nil {
+		return Result{}, fmt.Errorf("decoder: extracting DEM: %w", err)
+	}
+	g, err := BuildGraph(model)
+	if err != nil {
+		return Result{}, fmt.Errorf("decoder: building graph: %w", err)
+	}
+	dec := New(kind, g)
+	fs := sim.NewFrameSimulator(c, r)
+	failures := 0
+	syndrome := make([]int, 0, 64)
+	fs.Sample(shots, func(b sim.BatchResult) {
+		for s := 0; s < b.Shots; s++ {
+			bit := uint64(1) << uint(s)
+			syndrome = syndrome[:0]
+			for d, w := range b.Detectors {
+				if w&bit != 0 {
+					syndrome = append(syndrome, d)
+				}
+			}
+			pred := dec.Decode(syndrome)
+			var actual uint64
+			if len(b.Observables) > 0 && b.Observables[0]&bit != 0 {
+				actual = 1
+			}
+			if pred&1 != actual {
+				failures++
+			}
+		}
+	})
+	return Summarize(shots, failures, rounds), nil
+}
+
+// Summarize converts raw shot/failure counts into a Result.
+func Summarize(shots, failures, rounds int) Result {
+	res := Result{Shots: shots, Failures: failures, Rounds: rounds}
+	if shots > 0 {
+		res.LER = float64(failures) / float64(shots)
+		res.WilsonLo, res.WilsonHi = rng.WilsonInterval(failures, shots)
+	}
+	if rounds > 0 && res.LER < 1 {
+		// Per-round rate from total failure probability:
+		// P_total = 1 - (1 - p_round)^rounds.
+		res.PerRoundLER = 1 - math.Pow(1-res.LER, 1/float64(rounds))
+	}
+	return res
+}

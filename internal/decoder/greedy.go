@@ -1,0 +1,243 @@
+package decoder
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Greedy is a minimum-weight matching decoder. For each syndrome it
+// computes shortest paths between defects (and from each defect to the
+// boundary) with Dijkstra, then matches defects pairwise or to the
+// boundary. For up to maxExactDefects defects the matching is solved
+// exactly by subset dynamic programming (true MWPM on the derived complete
+// graph); larger syndromes fall back to greedy closest-pair matching. It
+// stands in for PyMatching as the baseline/cross-check decoder.
+type Greedy struct {
+	g    *Graph
+	dist []float64
+	via  []int // edge used to reach node in Dijkstra
+	mark []int // visit stamp
+	gen  int
+}
+
+// NewGreedy returns a greedy matching decoder over g.
+func NewGreedy(g *Graph) *Greedy {
+	n := g.NumDetectors + 1
+	return &Greedy{
+		g:    g,
+		dist: make([]float64, n),
+		via:  make([]int, n),
+		mark: make([]int, n),
+	}
+}
+
+type pqItem struct {
+	node int
+	d    float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// dijkstra runs a single-source shortest-path pass from src, returning the
+// distance/parent arrays (valid for entries stamped with the current gen).
+func (d *Greedy) dijkstra(src int) {
+	d.gen++
+	q := pq{{src, 0}}
+	d.dist[src] = 0
+	d.via[src] = -1
+	d.mark[src] = d.gen
+	settled := map[int]bool{}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if settled[it.node] {
+			continue
+		}
+		settled[it.node] = true
+		for _, ei := range d.g.Adj[it.node] {
+			e := &d.g.Edges[ei]
+			y := e.U
+			if y == it.node {
+				y = e.V
+			}
+			nd := it.d + e.W
+			if d.mark[y] != d.gen || nd < d.dist[y] {
+				d.mark[y] = d.gen
+				d.dist[y] = nd
+				d.via[y] = ei
+				heap.Push(&q, pqItem{y, nd})
+			}
+		}
+	}
+}
+
+// pathObs walks parents from dst back to the Dijkstra source, XOR-ing edge
+// observable masks.
+func (d *Greedy) pathObs(dst int) uint64 {
+	var obs uint64
+	v := dst
+	for d.via[v] >= 0 {
+		e := &d.g.Edges[d.via[v]]
+		obs ^= e.ObsMask
+		if e.U == v {
+			v = e.V
+		} else {
+			v = e.U
+		}
+	}
+	return obs
+}
+
+// maxExactDefects bounds the subset-DP exact matching (2^k·k² work).
+const maxExactDefects = 16
+
+// Decode implements Decoder.
+func (d *Greedy) Decode(syndrome []int) uint64 {
+	if len(syndrome) == 0 {
+		return 0
+	}
+	n := len(syndrome)
+	// Pairwise defect distances plus boundary distances, one Dijkstra per
+	// defect. inf entries mark unreachable pairs.
+	const inf = 1e18
+	pair := make([][]float64, n)
+	pobs := make([][]uint64, n)
+	bnd := make([]float64, n)
+	bobs := make([]uint64, n)
+	for i := range pair {
+		pair[i] = make([]float64, n)
+		pobs[i] = make([]uint64, n)
+		for j := range pair[i] {
+			pair[i][j] = inf
+		}
+		bnd[i] = inf
+	}
+	for i, s := range syndrome {
+		d.dijkstra(s)
+		for j := i + 1; j < n; j++ {
+			t := syndrome[j]
+			if d.mark[t] == d.gen {
+				pair[i][j] = d.dist[t]
+				pair[j][i] = d.dist[t]
+				o := d.pathObs(t)
+				pobs[i][j] = o
+				pobs[j][i] = o
+			}
+		}
+		if d.mark[d.g.Boundary] == d.gen {
+			bnd[i] = d.dist[d.g.Boundary]
+			bobs[i] = d.pathObs(d.g.Boundary)
+		}
+	}
+	if n <= maxExactDefects {
+		return d.exactMatch(n, pair, pobs, bnd, bobs, inf)
+	}
+	return d.greedyMatch(n, pair, pobs, bnd, bobs, inf)
+}
+
+// exactMatch solves min-weight matching with a boundary option by dynamic
+// programming over defect subsets.
+func (d *Greedy) exactMatch(n int, pair [][]float64, pobs [][]uint64, bnd []float64, bobs []uint64, inf float64) uint64 {
+	size := 1 << uint(n)
+	cost := make([]float64, size)
+	choice := make([]int32, size) // encodes (i<<8)|j, j==0xff for boundary
+	for m := 1; m < size; m++ {
+		cost[m] = inf
+		choice[m] = -1
+		// Lowest set defect must be matched now.
+		i := 0
+		for (m>>uint(i))&1 == 0 {
+			i++
+		}
+		rest := m &^ (1 << uint(i))
+		if bnd[i] < inf && cost[rest]+bnd[i] < cost[m] {
+			cost[m] = cost[rest] + bnd[i]
+			choice[m] = int32(i<<8 | 0xff)
+		}
+		for j := i + 1; j < n; j++ {
+			if (m>>uint(j))&1 == 0 || pair[i][j] >= inf {
+				continue
+			}
+			sub := rest &^ (1 << uint(j))
+			if c := cost[sub] + pair[i][j]; c < cost[m] {
+				cost[m] = c
+				choice[m] = int32(i<<8 | j)
+			}
+		}
+		if choice[m] == -1 {
+			// Unmatchable defect: drop it (disconnected graph component).
+			cost[m] = cost[rest]
+			choice[m] = int32(i<<8 | 0xfe)
+		}
+	}
+	var obs uint64
+	for m := size - 1; m > 0; {
+		ch := choice[m]
+		i := int(ch >> 8)
+		j := int(ch & 0xff)
+		switch j {
+		case 0xff:
+			obs ^= bobs[i]
+			m &^= 1 << uint(i)
+		case 0xfe:
+			m &^= 1 << uint(i)
+		default:
+			obs ^= pobs[i][j]
+			m &^= 1<<uint(i) | 1<<uint(j)
+		}
+	}
+	return obs
+}
+
+// greedyMatch matches closest pairs (or boundary) first; used when the
+// defect count exceeds the exact-DP budget.
+func (d *Greedy) greedyMatch(n int, pair [][]float64, pobs [][]uint64, bnd []float64, bobs []uint64, inf float64) uint64 {
+	type cand struct {
+		i, j int // j == -1 means boundary
+		dst  float64
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pair[i][j] < inf {
+				cands = append(cands, cand{i, j, pair[i][j]})
+			}
+		}
+		if bnd[i] < inf {
+			cands = append(cands, cand{i, -1, bnd[i]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dst < cands[b].dst })
+	matched := make([]bool, n)
+	remaining := n
+	var obs uint64
+	for _, c := range cands {
+		if remaining == 0 {
+			break
+		}
+		if matched[c.i] || (c.j >= 0 && matched[c.j]) {
+			continue
+		}
+		matched[c.i] = true
+		remaining--
+		if c.j >= 0 {
+			matched[c.j] = true
+			remaining--
+			obs ^= pobs[c.i][c.j]
+		} else {
+			obs ^= bobs[c.i]
+		}
+	}
+	return obs
+}

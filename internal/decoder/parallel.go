@@ -1,0 +1,97 @@
+package decoder
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/dem"
+	"caliqec/internal/rng"
+	"caliqec/internal/sim"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// EvaluateParallel is Evaluate with the Monte-Carlo shots fanned out over a
+// worker pool: each worker owns an independent frame simulator (seeded by
+// splitting r deterministically) and its own decoder instance over the
+// shared decoding graph. Results are exactly reproducible for a fixed
+// (seed, workers) pair; workers ≤ 0 selects GOMAXPROCS.
+func EvaluateParallel(c *circuit.Circuit, kind DecoderKind, shots, rounds, workers int, r *rng.RNG) (Result, error) {
+	return evaluateParallelMismatched(c, c, kind, shots, rounds, workers, r)
+}
+
+// EvaluateParallelMismatched is EvaluateMismatched over a worker pool.
+func EvaluateParallelMismatched(c, prior *circuit.Circuit, kind DecoderKind, shots, rounds, workers int, r *rng.RNG) (Result, error) {
+	return evaluateParallelMismatched(c, prior, kind, shots, rounds, workers, r)
+}
+
+func evaluateParallelMismatched(c, prior *circuit.Circuit, kind DecoderKind, shots, rounds, workers int, r *rng.RNG) (Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shots/64+1 {
+		workers = shots/64 + 1
+	}
+	if c.NumDetectors != prior.NumDetectors || c.NumObs != prior.NumObs {
+		return Result{}, fmt.Errorf("decoder: prior circuit structure mismatch")
+	}
+	model, err := dem.FromCircuit(prior)
+	if err != nil {
+		return Result{}, fmt.Errorf("decoder: extracting DEM: %w", err)
+	}
+	g, err := BuildGraph(model)
+	if err != nil {
+		return Result{}, fmt.Errorf("decoder: building graph: %w", err)
+	}
+	// Seeds are drawn up front so the assignment is independent of
+	// scheduling order.
+	seeds := make([]*rng.RNG, workers)
+	for i := range seeds {
+		seeds[i] = r.Split()
+	}
+	per := shots / workers
+	rem := shots % workers
+
+	var wg sync.WaitGroup
+	failures := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			dec := New(kind, g)
+			fs := sim.NewFrameSimulator(c, seeds[w])
+			syndrome := make([]int, 0, 64)
+			fs.Sample(n, func(b sim.BatchResult) {
+				for s := 0; s < b.Shots; s++ {
+					bit := uint64(1) << uint(s)
+					syndrome = syndrome[:0]
+					for d, word := range b.Detectors {
+						if word&bit != 0 {
+							syndrome = append(syndrome, d)
+						}
+					}
+					pred := dec.Decode(syndrome)
+					var actual uint64
+					if len(b.Observables) > 0 && b.Observables[0]&bit != 0 {
+						actual = 1
+					}
+					if pred&1 != actual {
+						failures[w]++
+					}
+				}
+			})
+		}(w, n)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range failures {
+		total += f
+	}
+	return Summarize(shots, total, rounds), nil
+}

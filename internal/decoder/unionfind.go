@@ -1,0 +1,250 @@
+package decoder
+
+// UnionFind is a weighted union-find decoder (Delfosse–Nickerson). Clusters
+// grow from syndrome defects in integer weight units; when the grown regions
+// of two endpoints cover an edge, their clusters merge. Growth stops when
+// every cluster is neutral (even defect count or touching the boundary).
+// A spanning-forest peeling pass then extracts the correction.
+type UnionFind struct {
+	g *Graph
+
+	// Scratch state reused across Decode calls.
+	parent  []int
+	rank    []int
+	parity  []int  // defects mod 2 per cluster root
+	hasBnd  []bool // cluster contains the boundary node
+	visited []bool
+	defect  []bool
+	grow    []int // growth accumulated on each edge
+	grown   []bool
+	// Per-root candidate boundary edge list (lazily cleaned).
+	frontier [][]int
+}
+
+// NewUnionFind returns a union-find decoder over g.
+func NewUnionFind(g *Graph) *UnionFind {
+	n := g.NumDetectors + 1
+	return &UnionFind{
+		g:        g,
+		parent:   make([]int, n),
+		rank:     make([]int, n),
+		parity:   make([]int, n),
+		hasBnd:   make([]bool, n),
+		visited:  make([]bool, n),
+		defect:   make([]bool, n),
+		grow:     make([]int, len(g.Edges)),
+		grown:    make([]bool, len(g.Edges)),
+		frontier: make([][]int, n),
+	}
+}
+
+func (u *UnionFind) find(v int) int {
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+// union merges the clusters of roots a and b and returns the new root.
+func (u *UnionFind) union(a, b int) int {
+	if a == b {
+		return a
+	}
+	if u.rank[a] < u.rank[b] {
+		a, b = b, a
+	}
+	u.parent[b] = a
+	if u.rank[a] == u.rank[b] {
+		u.rank[a]++
+	}
+	u.parity[a] ^= u.parity[b]
+	u.hasBnd[a] = u.hasBnd[a] || u.hasBnd[b]
+	// Concatenate frontier lists; stale (internal or fully grown) entries
+	// are discarded lazily during growth.
+	if len(u.frontier[a]) < len(u.frontier[b]) {
+		u.frontier[a], u.frontier[b] = u.frontier[b], u.frontier[a]
+	}
+	u.frontier[a] = append(u.frontier[a], u.frontier[b]...)
+	u.frontier[b] = nil
+	return a
+}
+
+// active reports whether the cluster rooted at r still needs to grow.
+func (u *UnionFind) active(r int) bool { return u.parity[r] == 1 && !u.hasBnd[r] }
+
+// Decode implements Decoder.
+func (u *UnionFind) Decode(syndrome []int) uint64 {
+	if len(syndrome) == 0 {
+		return 0
+	}
+	g := u.g
+	n := g.NumDetectors + 1
+	// Reset scratch state (touched nodes/edges only would be faster; a full
+	// reset is simple and still linear in graph size).
+	for i := 0; i < n; i++ {
+		u.parent[i] = i
+		u.rank[i] = 0
+		u.parity[i] = 0
+		u.hasBnd[i] = false
+		u.defect[i] = false
+		u.frontier[i] = u.frontier[i][:0]
+	}
+	for i := range u.grow {
+		u.grow[i] = 0
+		u.grown[i] = false
+	}
+	u.hasBnd[g.Boundary] = true
+
+	roots := map[int]bool{}
+	added := make([]bool, n) // node's adjacency already pushed to a frontier
+	for _, d := range syndrome {
+		u.defect[d] = true
+		u.parity[d] = 1
+		u.frontier[d] = append(u.frontier[d], g.Adj[d]...)
+		added[d] = true
+		roots[d] = true
+	}
+
+	// Growth rounds: every active cluster grows each frontier edge by one
+	// unit; saturated edges merge clusters.
+	for {
+		// Gather current active roots.
+		var act []int
+		for r := range roots {
+			rr := u.find(r)
+			if rr != r {
+				delete(roots, r)
+				roots[rr] = true
+			}
+		}
+		for r := range roots {
+			if u.active(r) {
+				act = append(act, r)
+			}
+		}
+		if len(act) == 0 {
+			break
+		}
+		var saturated []int
+		progress := false
+		for _, r := range act {
+			fr := u.frontier[r][:0]
+			for _, ei := range u.frontier[r] {
+				e := &g.Edges[ei]
+				if u.grown[ei] {
+					continue
+				}
+				ru, rv := u.find(e.U), u.find(e.V)
+				if ru == rv {
+					continue // internal edge, drop
+				}
+				u.grow[ei]++
+				progress = true
+				if u.grow[ei] >= e.WInt {
+					u.grown[ei] = true
+					saturated = append(saturated, ei)
+				} else {
+					fr = append(fr, ei)
+				}
+			}
+			u.frontier[r] = fr
+		}
+		if !progress {
+			// Disconnected defect with nowhere to grow: give up on it
+			// rather than spinning (its correction is unknowable anyway).
+			break
+		}
+		for _, ei := range saturated {
+			e := &g.Edges[ei]
+			ru, rv := u.find(e.U), u.find(e.V)
+			// A newly absorbed endpoint contributes its incident edges to
+			// the merged cluster's frontier (the boundary node never grows).
+			for _, v := range []int{e.U, e.V} {
+				if !added[v] && v != g.Boundary {
+					added[v] = true
+					r := u.find(v)
+					u.frontier[r] = append(u.frontier[r], g.Adj[v]...)
+				}
+			}
+			if ru == rv {
+				continue
+			}
+			nr := u.union(ru, rv)
+			delete(roots, ru)
+			delete(roots, rv)
+			roots[nr] = true
+		}
+	}
+	return u.peel()
+}
+
+// peel extracts the correction from the grown-edge forest: build a spanning
+// forest of each cluster over grown edges (rooting at the boundary node when
+// present), then peel leaves outward, emitting an edge whenever the leaf
+// carries a defect.
+func (u *UnionFind) peel() uint64 {
+	g := u.g
+	n := g.NumDetectors + 1
+	// Build spanning forest over grown edges.
+	parentEdge := make([]int, n)
+	order := make([]int, 0, n)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+		u.visited[i] = false
+	}
+	var stack []int
+	pushRoot := func(v int) {
+		u.visited[v] = true
+		stack = append(stack, v)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, x)
+			for _, ei := range g.Adj[x] {
+				if !u.grown[ei] {
+					continue
+				}
+				e := &g.Edges[ei]
+				y := e.U
+				if y == x {
+					y = e.V
+				}
+				if !u.visited[y] {
+					u.visited[y] = true
+					parentEdge[y] = ei
+					stack = append(stack, y)
+				}
+			}
+		}
+	}
+	// Root at the boundary first so defects can discharge into it.
+	pushRoot(g.Boundary)
+	for v := 0; v < n; v++ {
+		if !u.visited[v] {
+			pushRoot(v)
+		}
+	}
+	// Peel in reverse DFS order (children before parents).
+	var obs uint64
+	carry := make([]bool, n)
+	copy(carry, u.defect)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		ei := parentEdge[v]
+		if ei < 0 {
+			continue
+		}
+		if carry[v] {
+			e := &g.Edges[ei]
+			p := e.U
+			if p == v {
+				p = e.V
+			}
+			carry[v] = false
+			carry[p] = !carry[p]
+			obs ^= e.ObsMask
+		}
+	}
+	return obs
+}

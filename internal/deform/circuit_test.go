@@ -1,0 +1,143 @@
+package deform
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"caliqec/internal/sim"
+	"testing"
+)
+
+// TestDeformedCircuitDeterministic is the gauge-fixing acid test: after an
+// isolation instruction, individual gauge outcomes randomize round to round
+// (crossing gauges anticommute) but every detector — built from gauge
+// *products* — must remain deterministic and zero on a noiseless run.
+func TestDeformedCircuitDeterministic(t *testing.T) {
+	r := rng.New(11)
+	cases := []struct {
+		kind  lattice.Kind
+		coord [2]int
+	}{
+		{lattice.Square, [2]int{2, 2}},
+		{lattice.Square, [2]int{1, 2}},
+		{lattice.HeavyHex, [2]int{2, 2}},
+		{lattice.HeavyHex, [2]int{2, 1}},
+	}
+	for _, tc := range cases {
+		for _, basis := range []lattice.Basis{lattice.BasisZ, lattice.BasisX} {
+			var lat *lattice.Lattice
+			if tc.kind == lattice.Square {
+				lat = lattice.NewSquare(5)
+			} else {
+				lat = lattice.NewHeavyHex(5)
+			}
+			p := code.NewPatch(lat)
+			d := NewDeformer(p)
+			q := lat.DataID[tc.coord]
+			if _, err := d.IsolateQubit(q, "t"); err != nil {
+				t.Fatal(err)
+			}
+			c, err := d.Patch.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: basis})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				res, err := sim.RunNoiseless(c, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range res.Detectors {
+					if v {
+						t.Fatalf("%v data %v memory-%v: detector %d fired noiselessly after DataQ_RM",
+							tc.kind, tc.coord, basis, i)
+					}
+				}
+				if res.Observables[0] {
+					t.Fatalf("%v data %v memory-%v: observable not deterministic after DataQ_RM",
+						tc.kind, tc.coord, basis)
+				}
+			}
+		}
+	}
+}
+
+// TestDeformedAncillaCircuitDeterministic repeats the acid test for the
+// heavy-hex ancilla-removal instructions (split gauges measured on
+// sub-chains).
+func TestDeformedAncillaCircuitDeterministic(t *testing.T) {
+	r := rng.New(13)
+	lat := lattice.NewHeavyHex(5)
+	// Gather one target of each ancilla role from an interior plaquette.
+	var targets []int
+	for _, pl := range lat.Plaquettes {
+		if pl.CellRow == 2 && pl.CellCol == 2 && len(pl.Bridge) == 7 {
+			targets = append(targets, pl.Bridge[3], pl.Bridge[1], pl.Bridge[2])
+		}
+	}
+	if len(targets) != 3 {
+		t.Fatal("no interior full bridge found")
+	}
+	for _, target := range targets {
+		p := code.NewPatch(lattice.NewHeavyHex(5))
+		d := NewDeformer(p)
+		role := p.Lat.Qubit(target).Role
+		if _, err := d.IsolateQubit(target, "t"); err != nil {
+			t.Fatalf("%v: %v", role, err)
+		}
+		for _, basis := range []lattice.Basis{lattice.BasisZ, lattice.BasisX} {
+			c, err := d.Patch.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: basis})
+			if err != nil {
+				t.Fatalf("%v: %v", role, err)
+			}
+			res, err := sim.RunNoiseless(c, r)
+			if err != nil {
+				t.Fatalf("%v: %v", role, err)
+			}
+			for i, v := range res.Detectors {
+				if v {
+					t.Fatalf("%v memory-%v: detector %d fired noiselessly", role, basis, i)
+				}
+			}
+			if res.Observables[0] {
+				t.Fatalf("%v memory-%v: observable not deterministic", role, basis)
+			}
+		}
+	}
+}
+
+// TestDeformedPatchDecodes: a deformed patch's noisy circuit must still
+// produce a graph-like DEM and decode with finite logical error rate.
+func TestDeformedPatchDecodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	for _, kind := range []lattice.Kind{lattice.Square, lattice.HeavyHex} {
+		var lat *lattice.Lattice
+		if kind == lattice.Square {
+			lat = lattice.NewSquare(3)
+		} else {
+			lat = lattice.NewHeavyHex(3)
+		}
+		p := code.NewPatch(lat)
+		d := NewDeformer(p)
+		q := lat.DataID[[2]int{1, 1}]
+		if _, err := d.IsolateQubit(q, "t"); err != nil {
+			t.Fatal(err)
+		}
+		c, err := d.Patch.MemoryCircuit(code.MemoryOptions{
+			Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(1e-3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := decoder.Evaluate(c, decoder.KindUnionFind, 5000, 3, rng.New(99))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.LER > 0.3 {
+			t.Errorf("%v: deformed d=3 patch LER=%.3g, decoding seems broken", kind, res.LER)
+		}
+		t.Logf("%v deformed d=3: %v", kind, res)
+	}
+}

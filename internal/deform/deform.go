@@ -1,0 +1,606 @@
+// Package deform implements the CaliQEC code-deformation instruction sets
+// (paper §6, Table 1) for square and heavy-hexagon surface codes:
+//
+//	Square:     DataQ_RM, SyndromeQ_RM, PatchQ_RM, PatchQ_AD
+//	Heavy-hex:  DataQ_RM, AncQ_RM_HorDeg2, AncQ_RM_VerDeg2, AncQ_RM_Deg3,
+//	            PatchQ_RM, PatchQ_AD
+//
+// Every instruction mutates a *code.Patch. Internally they all reduce to
+// one engine:
+//
+//  1. remove qubits — drop data qubits from gauge supports, split gauge
+//     ancilla chains at removed ancillas (orphaned data, whose degree-3
+//     attachment vanished, is removed recursively);
+//  2. reroute logical operators off removed qubits by multiplying with
+//     stabilizers;
+//  3. repair commutation — a fixpoint that merges checks into
+//     super-stabilizers until every check operator commutes with every
+//     gauge. This reproduces the paper's explicit constructions (e.g.
+//     AncQ_RM_VerDeg2's X1·s0'·s1 and Z2·g1'·g2 super-stabilizers) from
+//     first principles, and code.Patch.Validate certifies the result.
+//
+// Checks that cannot be repaired by merging (which only happens against a
+// patch boundary) are suspended — removed from the stabilizer set for the
+// duration of the deformation at the cost of extra distance loss. This is
+// a conservative over-approximation of the paper's boundary handling.
+package deform
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/lattice"
+	"caliqec/internal/pauli"
+	"fmt"
+)
+
+// Op names a deformation instruction.
+type Op string
+
+// The instruction set (Table 1).
+const (
+	DataQRM       Op = "DataQ_RM"
+	SyndromeQRM   Op = "SyndromeQ_RM"
+	PatchQRM      Op = "PatchQ_RM"
+	PatchQAD      Op = "PatchQ_AD"
+	AncQRMHorDeg2 Op = "AncQ_RM_HorDeg2"
+	AncQRMVerDeg2 Op = "AncQ_RM_VerDeg2"
+	AncQRMDeg3    Op = "AncQ_RM_Deg3"
+)
+
+// InstructionSet returns the instructions available on a lattice kind
+// (paper Table 1).
+func InstructionSet(kind lattice.Kind) []Op {
+	if kind == lattice.Square {
+		return []Op{DataQRM, SyndromeQRM, PatchQRM, PatchQAD}
+	}
+	return []Op{DataQRM, AncQRMHorDeg2, AncQRMVerDeg2, AncQRMDeg3, PatchQRM, PatchQAD}
+}
+
+// Record describes one applied instruction.
+type Record struct {
+	Op      Op
+	Target  int   // primary target qubit ID (-1 for PatchQ_AD)
+	Removed []int // all qubits taken out of the code by this instruction
+	// Suspended lists check IDs deleted because boundary geometry left no
+	// merge partner (see package comment).
+	Suspended []int
+	// DistanceX/Z record the patch distances after the instruction.
+	DistanceX, DistanceZ int
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%s(q%d): removed=%v dX=%d dZ=%d", r.Op, r.Target, r.Removed, r.DistanceX, r.DistanceZ)
+}
+
+// Apply dispatches an instruction targeting qubit q on patch p. The qubit's
+// role must match the instruction (e.g. AncQ_RM_Deg3 needs a degree-3
+// bridge ancilla). Apply is transactional: if the instruction cannot
+// complete — for example, the isolation would sever every bare logical
+// route — the patch is left exactly as it was and the error tells the
+// scheduler to defer or re-plan that calibration.
+func Apply(p *code.Patch, op Op, q int) (*Record, error) {
+	snapshot := p.Clone()
+	rec, err := applyInner(p, op, q)
+	if err != nil {
+		restorePatch(p, snapshot)
+		return nil, err
+	}
+	return rec, nil
+}
+
+// restorePatch copies the snapshot's state back into p.
+func restorePatch(p, snapshot *code.Patch) {
+	*p = *snapshot
+}
+
+func applyInner(p *code.Patch, op Op, q int) (*Record, error) {
+	role := p.Lat.Qubit(q).Role
+	switch op {
+	case DataQRM:
+		if role != lattice.RoleData {
+			return nil, fmt.Errorf("deform: %s target %d has role %v, want data", op, q, role)
+		}
+		return dataQRM(p, q)
+	case SyndromeQRM:
+		if p.Lat.Kind != lattice.Square || role != lattice.RoleSyndrome {
+			return nil, fmt.Errorf("deform: %s needs a square-lattice syndrome qubit, got %v on %v", op, role, p.Lat.Kind)
+		}
+		return syndromeQRM(p, q)
+	case AncQRMHorDeg2:
+		if p.Lat.Kind != lattice.HeavyHex || role != lattice.RoleBridgeDeg2Hor {
+			return nil, fmt.Errorf("deform: %s needs a heavy-hex horizontal degree-2 ancilla, got %v on %v", op, role, p.Lat.Kind)
+		}
+		return ancQRM(p, op, q)
+	case AncQRMVerDeg2:
+		if p.Lat.Kind != lattice.HeavyHex || role != lattice.RoleBridgeDeg2Ver {
+			return nil, fmt.Errorf("deform: %s needs a heavy-hex vertical degree-2 ancilla, got %v on %v", op, role, p.Lat.Kind)
+		}
+		return ancQRM(p, op, q)
+	case AncQRMDeg3:
+		if p.Lat.Kind != lattice.HeavyHex || role != lattice.RoleBridgeDeg3 {
+			return nil, fmt.Errorf("deform: %s needs a heavy-hex degree-3 ancilla, got %v on %v", op, role, p.Lat.Kind)
+		}
+		return ancQRM(p, op, q)
+	default:
+		return nil, fmt.Errorf("deform: Apply does not handle %s (use the dedicated entry point)", op)
+	}
+}
+
+// dataQRM removes a single data qubit (paper Fig. 4a): the checks
+// containing it become super-stabilizers excluding it.
+func dataQRM(p *code.Patch, q int) (*Record, error) {
+	rec := &Record{Op: DataQRM, Target: q}
+	eng := engine{p: p, rec: rec}
+	if err := eng.removeData(q); err != nil {
+		return nil, err
+	}
+	if err := eng.finish(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// syndromeQRM removes a square-lattice syndrome qubit (paper Fig. 4b): the
+// data qubits of its stabilizer are measured in the stabilizer basis and
+// leave the code; surrounding opposite-basis checks merge around the hole.
+func syndromeQRM(p *code.Patch, s int) (*Record, error) {
+	var owner *code.Check
+	for _, c := range p.Checks {
+		for _, g := range c.Gauges {
+			for _, a := range g.Chain {
+				if a == s {
+					owner = c
+				}
+			}
+		}
+	}
+	rec := &Record{Op: SyndromeQRM, Target: s}
+	eng := engine{p: p, rec: rec}
+	if owner == nil {
+		// The ancilla's check was already dismantled by earlier
+		// instructions (e.g. its data qubits left the code): removing it
+		// is structurally trivial.
+		eng.markRemoved(s)
+		if err := eng.finish(); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+	support := owner.Support()
+	p.RemoveCheck(owner.ID)
+	eng.markRemoved(s)
+	for _, q := range support {
+		if err := eng.removeData(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.finish(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ancQRM removes a heavy-hex bridge ancilla, splitting every gauge whose
+// chain passes through it; data orphaned by a lost degree-3 attachment is
+// removed from the code (the paper's isolated-gauge-qubit rule in
+// AncQ_RM_Deg3).
+func ancQRM(p *code.Patch, op Op, a int) (*Record, error) {
+	rec := &Record{Op: op, Target: a}
+	eng := engine{p: p, rec: rec}
+	orphans, err := eng.splitChainsAt(a)
+	if err == errAncillaUnused {
+		// Already detached by earlier instructions: trivial removal.
+		eng.markRemoved(a)
+		if err := eng.finish(); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range orphans {
+		if err := eng.removeData(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.finish(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// PatchShrink removes a set of boundary data qubits (PatchQ_RM, Fig. 4c),
+// measuring them in the given basis. Like Apply, it is transactional.
+func PatchShrink(p *code.Patch, qubits []int, basis lattice.Basis) (*Record, error) {
+	snapshot := p.Clone()
+	rec, err := patchShrinkInner(p, qubits, basis)
+	if err != nil {
+		restorePatch(p, snapshot)
+		return nil, err
+	}
+	return rec, nil
+}
+
+func patchShrinkInner(p *code.Patch, qubits []int, basis lattice.Basis) (*Record, error) {
+	rec := &Record{Op: PatchQRM, Target: -1}
+	eng := engine{p: p, rec: rec}
+	for _, q := range qubits {
+		if p.Lat.Qubit(q).Role != lattice.RoleData {
+			return nil, fmt.Errorf("deform: PatchQ_RM target %d is not a data qubit", q)
+		}
+		if err := eng.removeData(q); err != nil {
+			return nil, err
+		}
+	}
+	_ = basis // the measurement basis matters for the runtime transition, not the structure
+	if err := eng.finish(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// errAncillaUnused reports that an ancilla removal found no gauge chain to
+// split (the ancilla was already detached by earlier instructions).
+var errAncillaUnused = fmt.Errorf("deform: ancilla is in no gauge chain")
+
+// engine is the shared instruction-application machinery.
+type engine struct {
+	p   *code.Patch
+	rec *Record
+}
+
+func (e *engine) markRemoved(q int) {
+	if !e.p.Removed[q] {
+		e.p.Removed[q] = true
+		e.rec.Removed = append(e.rec.Removed, q)
+	}
+}
+
+// removeData takes data qubit q out of the code: drops it from every gauge
+// support and attachment, and removes now-empty gauges. Logical operators
+// are recomputed once, in finish.
+func (e *engine) removeData(q int) error {
+	if e.p.Removed[q] {
+		return nil
+	}
+	e.markRemoved(q)
+	for _, c := range e.p.Checks {
+		for _, g := range c.Gauges {
+			out := g.Data[:0]
+			for _, d := range g.Data {
+				if d != q {
+					out = append(out, d)
+				}
+			}
+			g.Data = out
+			for a, d := range g.Attach {
+				if d == q {
+					delete(g.Attach, a)
+				}
+			}
+		}
+	}
+	e.pruneEmpty()
+	return nil
+}
+
+// splitChainsAt removes ancilla a from the lattice and splits every gauge
+// whose chain contains it into the left and right sub-chains. It returns
+// data qubits orphaned by losing their degree-3 attachment.
+func (e *engine) splitChainsAt(a int) ([]int, error) {
+	e.markRemoved(a)
+	var orphans []int
+	touched := false
+	for _, c := range e.p.Checks {
+		var newGauges []*code.Gauge
+		for _, g := range c.Gauges {
+			idx := -1
+			for i, x := range g.Chain {
+				if x == a {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				newGauges = append(newGauges, g)
+				continue
+			}
+			touched = true
+			if d, ok := g.Attach[a]; ok {
+				// The ancilla attached a data qubit: that data qubit loses
+				// its coupling into this gauge entirely.
+				orphans = append(orphans, d)
+			}
+			for _, part := range [][]int{g.Chain[:idx], g.Chain[idx+1:]} {
+				if len(part) == 0 {
+					continue
+				}
+				ng := &code.Gauge{Chain: append([]int(nil), part...), Attach: map[int]int{}}
+				for _, anc := range part {
+					if d, ok := g.Attach[anc]; ok {
+						ng.Attach[anc] = d
+						ng.Data = append(ng.Data, d)
+					}
+				}
+				if len(ng.Data) > 0 {
+					newGauges = append(newGauges, ng)
+				}
+			}
+		}
+		c.Gauges = newGauges
+	}
+	if !touched {
+		return nil, errAncillaUnused
+	}
+	e.pruneEmpty()
+	return orphans, nil
+}
+
+// pruneEmpty deletes checks whose operator became empty.
+func (e *engine) pruneEmpty() {
+	out := e.p.Checks[:0]
+	for _, c := range e.p.Checks {
+		keep := false
+		for _, g := range c.Gauges {
+			if len(g.Data) > 0 {
+				keep = true
+			}
+		}
+		if keep {
+			// Also drop empty gauges inside kept checks.
+			gs := c.Gauges[:0]
+			for _, g := range c.Gauges {
+				if len(g.Data) > 0 {
+					gs = append(gs, g)
+				}
+			}
+			c.Gauges = gs
+			out = append(out, c)
+		}
+	}
+	e.p.Checks = out
+}
+
+// finish runs the commutation-repair fixpoint, recomputes any logical
+// operator that lost a support qubit, and records distances.
+func (e *engine) finish() error {
+	if err := e.repair(); err != nil {
+		return err
+	}
+	for _, basis := range []lattice.Basis{lattice.BasisX, lattice.BasisZ} {
+		support := &e.p.LogicalZ
+		if basis == lattice.BasisX {
+			support = &e.p.LogicalX
+		}
+		dirty := false
+		for _, q := range *support {
+			if e.p.Removed[q] {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			continue
+		}
+		path, err := e.gaugePathLogical(basis)
+		if err != nil {
+			return err
+		}
+		*support = path
+	}
+	e.rec.DistanceX = e.p.Distance(lattice.BasisX)
+	e.rec.DistanceZ = e.p.Distance(lattice.BasisZ)
+	return nil
+}
+
+// gaugePathLogical finds a bare logical operator of the given basis on the
+// deformed patch: a boundary-to-boundary chain of data qubits in which
+// consecutive qubits share a *gauge* of the opposite basis. Sharing a gauge
+// (not merely a check) makes the chain commute with the whole gauge group,
+// so it remains a deterministic observable under gauge fixing — it routes
+// around super-stabilizer holes rather than through them.
+func (e *engine) gaugePathLogical(basis lattice.Basis) ([]int, error) {
+	gaugeBasis := lattice.BasisX // gauges that must see even overlap
+	if basis == lattice.BasisX {
+		gaugeBasis = lattice.BasisZ
+	}
+	// Collect opposite-basis gauges as nodes.
+	type gnode struct{ data map[int]bool }
+	var nodes []gnode
+	for _, c := range e.p.Checks {
+		if c.Basis != gaugeBasis {
+			continue
+		}
+		for _, g := range c.Gauges {
+			set := map[int]bool{}
+			for _, q := range g.Data {
+				set[q] = true
+			}
+			nodes = append(nodes, gnode{set})
+		}
+	}
+	bndA, bndB := len(nodes), len(nodes)+1
+	n := len(nodes) + 2
+	// For each active data qubit, an edge between the gauges containing it.
+	// Only qubits on the true patch boundary may terminate the logical: a
+	// bare logical cannot end at an interior hole (the hole-edge gauge
+	// would anticommute). Misassigning hole-adjacent qubits to a virtual
+	// boundary can manufacture homologically trivial "logicals" that fail
+	// to anticommute with the conjugate logical.
+	lat := e.p.Lat
+	side := func(q int) (int, bool) {
+		qb := lat.Qubit(q)
+		if basis == lattice.BasisZ {
+			switch qb.Col {
+			case 0:
+				return bndA, true
+			case 4 * (lat.Cols - 1):
+				return bndB, true
+			}
+			return 0, false
+		}
+		switch qb.Row {
+		case 0:
+			return bndA, true
+		case 4 * (lat.Rows - 1):
+			return bndB, true
+		}
+		return 0, false
+	}
+	type edge struct{ to, qubit int }
+	adj := make([][]edge, n)
+	addEdge := func(a, b, q int) {
+		adj[a] = append(adj[a], edge{b, q})
+		adj[b] = append(adj[b], edge{a, q})
+	}
+	_, dataIDs := e.p.DataIndex()
+	for _, q := range dataIDs {
+		var in []int
+		for i, nd := range nodes {
+			if nd.data[q] {
+				in = append(in, i)
+			}
+		}
+		switch len(in) {
+		case 2:
+			addEdge(in[0], in[1], q)
+		case 1:
+			if b, ok := side(q); ok {
+				addEdge(in[0], b, q)
+			}
+		}
+	}
+	// BFS from boundary A to B; reconstruct the qubits along the path.
+	parent := make([]int, n)
+	via := make([]int, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[bndA] = -1
+	queue := []int{bndA}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == bndB {
+			var path []int
+			for x := v; parent[x] >= -1 && x != bndA; x = parent[x] {
+				path = append(path, via[x])
+			}
+			return path, nil
+		}
+		for _, ed := range adj[v] {
+			if parent[ed.to] == -2 {
+				parent[ed.to] = v
+				via[ed.to] = ed.qubit
+				queue = append(queue, ed.to)
+			}
+		}
+	}
+	return nil, fmt.Errorf("deform: no bare logical %v survives the deformation", basis)
+}
+
+// repair merges checks into super-stabilizers until every check operator
+// commutes with every gauge of every other check. Checks at the patch
+// boundary with no merge partner are suspended.
+func (e *engine) repair() error {
+	for iter := 0; iter < 64; iter++ {
+		offender := e.findOffender()
+		if offender == nil {
+			return nil
+		}
+		// Merge all same-basis checks that anticommute with any gauge of
+		// another check into one super-stabilizer.
+		group := e.anticommutingGroup(offender.Basis)
+		if len(group) >= 2 {
+			e.merge(group)
+			continue
+		}
+		// No merge partner (patch boundary): suspend the lightest offender
+		// across both bases to minimize the resulting distance loss.
+		worst := offender
+		for _, basis := range []lattice.Basis{lattice.BasisX, lattice.BasisZ} {
+			for _, c := range e.anticommutingGroup(basis) {
+				if c.Operator().Weight() < worst.Operator().Weight() {
+					worst = c
+				}
+			}
+		}
+		e.rec.Suspended = append(e.rec.Suspended, worst.ID)
+		e.p.RemoveCheck(worst.ID)
+	}
+	return fmt.Errorf("deform: commutation repair did not converge")
+}
+
+// findOffender returns a check whose operator anticommutes with some gauge
+// of a different check, or nil.
+func (e *engine) findOffender() *code.Check {
+	type gaugeRec struct {
+		owner int
+		op    *pauli.String
+	}
+	var gauges []gaugeRec
+	for _, c := range e.p.Checks {
+		pl := pauli.Z
+		if c.Basis == lattice.BasisX {
+			pl = pauli.X
+		}
+		for _, g := range c.Gauges {
+			gauges = append(gauges, gaugeRec{c.ID, pauli.FromSupport(pl, g.Data...)})
+		}
+	}
+	for _, c := range e.p.Checks {
+		op := c.Operator()
+		for _, g := range gauges {
+			if g.owner == c.ID {
+				continue
+			}
+			if !op.Commutes(g.op) {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// anticommutingGroup returns all checks of the given basis whose operator
+// anticommutes with at least one gauge of another check.
+func (e *engine) anticommutingGroup(basis lattice.Basis) []*code.Check {
+	var out []*code.Check
+	for _, c := range e.p.Checks {
+		if c.Basis != basis {
+			continue
+		}
+		op := c.Operator()
+		anti := false
+	scan:
+		for _, o := range e.p.Checks {
+			if o.ID == c.ID {
+				continue
+			}
+			pl := pauli.Z
+			if o.Basis == lattice.BasisX {
+				pl = pauli.X
+			}
+			for _, g := range o.Gauges {
+				if !op.Commutes(pauli.FromSupport(pl, g.Data...)) {
+					anti = true
+					break scan
+				}
+			}
+		}
+		if anti {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// merge folds group[1:] into group[0].
+func (e *engine) merge(group []*code.Check) {
+	dst := group[0]
+	for _, src := range group[1:] {
+		dst.Gauges = append(dst.Gauges, src.Gauges...)
+		dst.Plaqs = append(dst.Plaqs, src.Plaqs...)
+		e.p.RemoveCheck(src.ID)
+	}
+}

@@ -1,0 +1,459 @@
+package deform
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"testing"
+	"testing/quick"
+)
+
+func squarePatch(t *testing.T, d int) *code.Patch {
+	t.Helper()
+	return code.NewPatch(lattice.NewSquare(d))
+}
+
+func hexPatch(t *testing.T, d int) *code.Patch {
+	t.Helper()
+	return code.NewPatch(lattice.NewHeavyHex(d))
+}
+
+func TestInstructionSetTable1(t *testing.T) {
+	sq := InstructionSet(lattice.Square)
+	if len(sq) != 4 {
+		t.Errorf("square set has %d instructions, want 4 (Table 1)", len(sq))
+	}
+	hx := InstructionSet(lattice.HeavyHex)
+	if len(hx) != 6 {
+		t.Errorf("heavy-hex set has %d instructions, want 6 (Table 1)", len(hx))
+	}
+}
+
+// TestDataQRMInterior removes a central data qubit on the square lattice:
+// both bases must merge into super-stabilizers, the patch must stay a valid
+// code, and the distance must drop by at most 1 per basis (Fig. 4a).
+func TestDataQRMInterior(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *code.Patch{squarePatch, hexPatch} {
+		p := mk(t, 5)
+		kind := p.Lat.Kind
+		q := p.Lat.DataID[[2]int{2, 2}]
+		before := len(p.Checks)
+		rec, err := Apply(p, DataQRM, q)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: deformed patch invalid: %v", kind, err)
+		}
+		// Two X checks merge to one, two Z checks merge to one: net -2.
+		if got, want := len(p.Checks), before-2; got != want {
+			t.Errorf("%v: %d checks after DataQ_RM, want %d", kind, got, want)
+		}
+		supers := 0
+		for _, c := range p.Checks {
+			if c.IsSuper() {
+				supers++
+			}
+		}
+		if supers != 2 {
+			t.Errorf("%v: %d super-stabilizers, want 2", kind, supers)
+		}
+		if rec.DistanceX < 4 || rec.DistanceZ < 4 {
+			t.Errorf("%v: distance after single DataQ_RM = (%d,%d), want ≥ 4", kind, rec.DistanceX, rec.DistanceZ)
+		}
+		if rec.DistanceX > 5 || rec.DistanceZ > 5 {
+			t.Errorf("%v: distance grew? (%d,%d)", kind, rec.DistanceX, rec.DistanceZ)
+		}
+	}
+}
+
+// TestDataQRMOnLogical removes a qubit lying on both logical operators (the
+// corner) — rerouting must keep valid anticommuting logicals.
+func TestDataQRMOnLogical(t *testing.T) {
+	p := squarePatch(t, 5)
+	q := p.Lat.DataID[[2]int{0, 0}]
+	if _, err := Apply(p, DataQRM, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("deformed patch invalid: %v", err)
+	}
+}
+
+// TestSyndromeQRM removes a syndrome qubit on the square lattice: the
+// stabilizer's data is measured out and surrounding opposite checks form a
+// super-stabilizer around the hole (Fig. 4b).
+func TestSyndromeQRM(t *testing.T) {
+	p := squarePatch(t, 5)
+	// Pick an interior plaquette's syndrome qubit.
+	var syn int
+	for _, pl := range p.Lat.Plaquettes {
+		if pl.CellRow == 2 && pl.CellCol == 2 {
+			syn = pl.Syndrome
+		}
+	}
+	rec, err := Apply(p, SyndromeQRM, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("deformed patch invalid: %v", err)
+	}
+	if len(rec.Removed) < 5 { // 4 data + the syndrome qubit
+		t.Errorf("removed %v, want the stabilizer's 4 data + syndrome", rec.Removed)
+	}
+	if rec.DistanceX < 3 || rec.DistanceZ < 3 {
+		t.Errorf("distance after SyndromeQ_RM = (%d,%d), want ≥ 3", rec.DistanceX, rec.DistanceZ)
+	}
+}
+
+// TestAncQRMHorDeg2 removes a plaquette-private middle ancilla on the heavy
+// hexagon: the stabilizer splits into two gauges and the west/east
+// neighbours merge into a super-stabilizer (paper Fig. 8c).
+func TestAncQRMHorDeg2(t *testing.T) {
+	p := hexPatch(t, 5)
+	// Find an interior plaquette's middle ancilla (RoleBridgeDeg2Hor).
+	var mid int = -1
+	for _, pl := range p.Lat.Plaquettes {
+		if pl.CellRow == 2 && pl.CellCol == 2 && len(pl.Bridge) == 7 {
+			mid = pl.Bridge[3]
+		}
+	}
+	if mid < 0 {
+		t.Fatal("no interior plaquette with full bridge found")
+	}
+	before := len(p.Checks)
+	rec, err := Apply(p, AncQRMHorDeg2, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("deformed patch invalid: %v", err)
+	}
+	// The split check keeps its identity (2 gauges); two neighbours merge
+	// into one super: net -1 checks.
+	if got, want := len(p.Checks), before-1; got != want {
+		t.Errorf("%d checks, want %d", got, want)
+	}
+	var split, super *code.Check
+	for _, c := range p.Checks {
+		if len(c.Gauges) == 2 && len(c.Plaqs) == 1 {
+			split = c
+		}
+		if len(c.Plaqs) == 2 {
+			super = c
+		}
+	}
+	if split == nil {
+		t.Error("no check with two gauges (split stabilizer s0' · s0'')")
+	} else {
+		for _, g := range split.Gauges {
+			if len(g.Data) != 2 {
+				t.Errorf("split gauge has %d data qubits, want 2 (X_{1,2} / X_{3,4})", len(g.Data))
+			}
+		}
+	}
+	if super == nil {
+		t.Error("no merged neighbour super-stabilizer (g2·g3)")
+	} else if super.Basis == p.CheckByID(split.ID).Basis {
+		t.Error("neighbour super-stabilizer has same basis as split check, want opposite")
+	}
+	if len(rec.Suspended) != 0 {
+		t.Errorf("interior HorDeg2 suspended checks %v, want none", rec.Suspended)
+	}
+	_ = rec
+}
+
+// TestAncQRMVerDeg2 removes a shared segment-middle ancilla: BOTH plaquettes
+// sharing the segment split, and the paper's X1·s0'·s1 / Z2·g1'·g2
+// super-stabilizers emerge (Fig. 8d).
+func TestAncQRMVerDeg2(t *testing.T) {
+	p := hexPatch(t, 5)
+	// The shared horizontal segment between interior cells (2,2) and (3,2):
+	// take the north segment of cell (3,2)'s bridge (Bridge[1] = qb).
+	var qb int = -1
+	for _, pl := range p.Lat.Plaquettes {
+		if pl.CellRow == 3 && pl.CellCol == 2 && len(pl.Bridge) == 7 {
+			qb = pl.Bridge[1]
+		}
+	}
+	if qb < 0 {
+		t.Fatal("no interior shared segment found")
+	}
+	if got := p.Lat.Qubit(qb).Role; got != lattice.RoleBridgeDeg2Ver {
+		t.Fatalf("Bridge[1] role = %v, want deg2v", got)
+	}
+	rec, err := Apply(p, AncQRMVerDeg2, qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("deformed patch invalid: %v", err)
+	}
+	// Expect: one X super with 3 gauges incl. a single-qubit gauge (X1),
+	// one Z super with 3 gauges incl. a single-qubit gauge (Z2).
+	var foundX, foundZ bool
+	for _, c := range p.Checks {
+		if len(c.Gauges) == 3 && len(c.Plaqs) == 2 {
+			single := 0
+			for _, g := range c.Gauges {
+				if len(g.Data) == 1 {
+					single++
+				}
+			}
+			if single >= 1 {
+				if c.Basis == lattice.BasisX {
+					foundX = true
+				} else {
+					foundZ = true
+				}
+			}
+		}
+	}
+	if !foundX || !foundZ {
+		t.Errorf("expected X1·s0'·s1 and Z2·g1'·g2 supers (3 gauges, 2 plaquettes, a single-qubit gauge); foundX=%v foundZ=%v", foundX, foundZ)
+	}
+	if len(rec.Suspended) != 0 {
+		t.Errorf("interior VerDeg2 suspended %v, want none", rec.Suspended)
+	}
+}
+
+// TestAncQRMDeg3 removes a degree-3 ancilla: its attached data qubit drops
+// out of the code as an isolated gauge qubit (Fig. 8e).
+func TestAncQRMDeg3(t *testing.T) {
+	p := hexPatch(t, 5)
+	var qc, q2 int = -1, -1
+	for _, pl := range p.Lat.Plaquettes {
+		if pl.CellRow == 3 && pl.CellCol == 2 && len(pl.Bridge) == 7 {
+			qc = pl.Bridge[2] // north segment's C ancilla (attached to NE data)
+			q2 = pl.DataAttach[qc]
+		}
+	}
+	if qc < 0 {
+		t.Fatal("no interior deg-3 ancilla found")
+	}
+	rec, err := Apply(p, AncQRMDeg3, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("deformed patch invalid: %v", err)
+	}
+	removedData := false
+	for _, q := range rec.Removed {
+		if q == q2 {
+			removedData = true
+		}
+	}
+	if !removedData {
+		t.Errorf("data qubit %d attached to removed deg-3 ancilla should leave the code; removed=%v", q2, rec.Removed)
+	}
+}
+
+// TestPatchShrink removes a boundary data qubit (PatchQ_RM).
+func TestPatchShrink(t *testing.T) {
+	p := squarePatch(t, 5)
+	q := p.Lat.DataID[[2]int{4, 2}] // south boundary, off the logicals
+	rec, err := PatchShrink(p, []int{q}, lattice.BasisZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("deformed patch invalid: %v", err)
+	}
+	_ = rec
+}
+
+// TestIsolateThenReintegrate runs the full runtime cycle: isolate a region,
+// verify structure, reintegrate, and verify the patch is pristine again.
+func TestIsolateThenReintegrate(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *code.Patch{squarePatch, hexPatch} {
+		p := mk(t, 5)
+		kind := p.Lat.Kind
+		d := NewDeformer(p)
+		pristineChecks := len(p.Checks)
+		q := p.Lat.DataID[[2]int{2, 2}]
+		if _, err := d.IsolateRegion([]int{q}, "cal-g7"); err != nil {
+			t.Fatalf("%v isolate: %v", kind, err)
+		}
+		if err := d.Patch.Validate(); err != nil {
+			t.Fatalf("%v isolated patch invalid: %v", kind, err)
+		}
+		if err := d.Reintegrate("cal-g7"); err != nil {
+			t.Fatalf("%v reintegrate: %v", kind, err)
+		}
+		if err := d.Patch.Validate(); err != nil {
+			t.Fatalf("%v reintegrated patch invalid: %v", kind, err)
+		}
+		if len(d.Patch.Checks) != pristineChecks {
+			t.Errorf("%v: %d checks after reintegration, want pristine %d", kind, len(d.Patch.Checks), pristineChecks)
+		}
+		if len(d.Patch.Removed) != 0 {
+			t.Errorf("%v: removed set non-empty after reintegration: %v", kind, d.Patch.Removed)
+		}
+		if got := d.Patch.Distance(lattice.BasisX); got != 5 {
+			t.Errorf("%v: distance %d after reintegration, want 5", kind, got)
+		}
+	}
+}
+
+// TestEnlargeRestoresDistance: isolating qubits costs distance; PatchQ_AD
+// must bring it back (§8.2.1: "the code distance reduction Δd during
+// calibration requires only a d+Δd expansion").
+func TestEnlargeRestoresDistance(t *testing.T) {
+	p := squarePatch(t, 5)
+	d := NewDeformer(p)
+	q := p.Lat.DataID[[2]int{2, 2}]
+	if _, err := d.IsolateRegion([]int{q}, "cal"); err != nil {
+		t.Fatal(err)
+	}
+	dx := d.Patch.Distance(lattice.BasisX)
+	dz := d.Patch.Distance(lattice.BasisZ)
+	if dx == 5 && dz == 5 {
+		t.Fatalf("isolation cost no distance (dx=%d dz=%d); test needs a lossy isolation", dx, dz)
+	}
+	growRows := dx < 5
+	if err := d.Enlarge(growRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Patch.Validate(); err != nil {
+		t.Fatalf("enlarged patch invalid: %v", err)
+	}
+	ndx, ndz := d.Patch.Distance(lattice.BasisX), d.Patch.Distance(lattice.BasisZ)
+	if ndx < 5 && ndz < 5 {
+		t.Errorf("enlargement did not restore distance: (%d,%d)", ndx, ndz)
+	}
+	// Reintegrate, then shrink back.
+	if err := d.Reintegrate("cal"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shrink(growRows); err != nil {
+		t.Fatal(err)
+	}
+	if d.Patch.Lat.Rows != 5 || d.Patch.Lat.Cols != 5 {
+		t.Errorf("patch is %d×%d after shrink, want 5×5", d.Patch.Lat.Rows, d.Patch.Lat.Cols)
+	}
+	if err := d.Patch.Validate(); err != nil {
+		t.Fatalf("shrunk patch invalid: %v", err)
+	}
+}
+
+// TestEveryInteriorQubitIsolatable: sweep all interior qubits on both
+// lattices and verify each can be isolated leaving a valid code. This
+// exercises every instruction in Table 1 across many geometric positions.
+func TestEveryInteriorQubitIsolatable(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *code.Patch{squarePatch, hexPatch} {
+		base := mk(t, 5)
+		kind := base.Lat.Kind
+		for _, qb := range base.Lat.Qubits {
+			// Interior test region: coordinates within the middle.
+			if qb.Row < 4 || qb.Row > 12 || qb.Col < 4 || qb.Col > 12 {
+				continue
+			}
+			p := mk(t, 5)
+			d := NewDeformer(p)
+			rec, err := d.IsolateQubit(qb.ID, "sweep")
+			if err != nil {
+				t.Errorf("%v qubit %d (%v at %d,%d): %v", kind, qb.ID, qb.Role, qb.Row, qb.Col, err)
+				continue
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("%v qubit %d (%v): invalid after isolation: %v", kind, qb.ID, qb.Role, err)
+			}
+			if rec.DistanceX < 3 || rec.DistanceZ < 3 {
+				t.Errorf("%v qubit %d (%v): distance collapsed to (%d,%d)", kind, qb.ID, qb.Role, rec.DistanceX, rec.DistanceZ)
+			}
+		}
+	}
+}
+
+// TestBoundaryQubitIsolatable: boundary isolation may suspend checks but
+// must never produce an invalid code.
+func TestBoundaryQubitIsolatable(t *testing.T) {
+	for _, mk := range []func(*testing.T, int) *code.Patch{squarePatch, hexPatch} {
+		base := mk(t, 5)
+		kind := base.Lat.Kind
+		count := 0
+		for _, qb := range base.Lat.Qubits {
+			if qb.Row >= 4 && qb.Row <= 12 && qb.Col >= 4 && qb.Col <= 12 {
+				continue // interior covered elsewhere
+			}
+			count++
+			if count%3 != 0 {
+				continue // sample a third of the boundary for speed
+			}
+			p := mk(t, 5)
+			d := NewDeformer(p)
+			if _, err := d.IsolateQubit(qb.ID, "sweep"); err != nil {
+				t.Errorf("%v boundary qubit %d (%v at %d,%d): %v", kind, qb.ID, qb.Role, qb.Row, qb.Col, err)
+				continue
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("%v boundary qubit %d (%v): invalid: %v", kind, qb.ID, qb.Role, err)
+			}
+		}
+	}
+}
+
+// TestRandomIsolationSequences (property): random sequences of isolation
+// instructions on random interior targets always leave a valid code, and
+// reintegration always restores the pristine structure. This fuzzes the
+// commutation-repair engine across instruction interleavings the explicit
+// tests do not enumerate.
+func TestRandomIsolationSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed))
+		kind := lattice.Square
+		if r.Bool() {
+			kind = lattice.HeavyHex
+		}
+		var p *code.Patch
+		if kind == lattice.Square {
+			p = code.NewPatch(lattice.NewSquare(7))
+		} else {
+			p = code.NewPatch(lattice.NewHeavyHex(7))
+		}
+		pristineChecks := len(p.Checks)
+		d := NewDeformer(p)
+		// Pick 2-4 interior targets of any role.
+		var interior []int
+		for _, qb := range p.Lat.Qubits {
+			if qb.Row >= 6 && qb.Row <= 18 && qb.Col >= 6 && qb.Col <= 18 {
+				interior = append(interior, qb.ID)
+			}
+		}
+		n := 2 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			q := interior[r.Intn(len(interior))]
+			if d.Patch.Removed[q] {
+				continue
+			}
+			if _, err := d.IsolateQubit(q, "fuzz"); err != nil {
+				// A rejected instruction (e.g. the isolation would sever
+				// every bare logical route) must leave the patch intact —
+				// the scheduler defers such calibrations.
+				if err := d.Patch.Validate(); err != nil {
+					t.Logf("seed %d: rejected isolation corrupted the patch: %v", seed, err)
+					return false
+				}
+				continue
+			}
+			if err := d.Patch.Validate(); err != nil {
+				t.Logf("seed %d: invalid after isolating %d: %v", seed, q, err)
+				return false
+			}
+		}
+		if err := d.Reintegrate("fuzz"); err != nil {
+			t.Logf("seed %d: reintegrate: %v", seed, err)
+			return false
+		}
+		if err := d.Patch.Validate(); err != nil {
+			t.Logf("seed %d: invalid after reintegration: %v", seed, err)
+			return false
+		}
+		return len(d.Patch.Checks) == pristineChecks && len(d.Patch.Removed) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

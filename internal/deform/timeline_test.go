@@ -1,0 +1,72 @@
+package deform
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"testing"
+)
+
+// cycleEpochs builds pristine → isolated → reintegrated epochs through the
+// real instruction set.
+func cycleEpochs(t *testing.T, kind lattice.Kind) []code.Epoch {
+	t.Helper()
+	mk := func() *code.Patch {
+		if kind == lattice.Square {
+			return code.NewPatch(lattice.NewSquare(5))
+		}
+		return code.NewPatch(lattice.NewHeavyHex(5))
+	}
+	pristine := mk()
+	isoPatch := mk()
+	d := NewDeformer(isoPatch)
+	q := isoPatch.Lat.DataID[[2]int{2, 2}]
+	if _, err := d.IsolateQubit(q, "cycle"); err != nil {
+		t.Fatal(err)
+	}
+	reint := mk()
+	return []code.Epoch{{Patch: pristine, Rounds: 3}, {Patch: d.Patch, Rounds: 3}, {Patch: reint, Rounds: 3}}
+}
+
+// TestCalibrationCycleLER is the circuit-level capstone: Monte-Carlo LER of
+// a full isolate→calibrate→reintegrate cycle, decoded end to end. The
+// cycle's LER must stay within a small factor of the static code's (the
+// paper's claim that deformation preserves error protection, measured here
+// at the circuit level rather than through Eq. 4).
+func TestCalibrationCycleLER(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	const (
+		p     = 2e-3
+		shots = 40000
+	)
+	for _, kind := range []lattice.Kind{lattice.Square} {
+		epochs := cycleEpochs(t, kind)
+		cyc, err := code.TimelineCircuit(epochs, code.TimelineOptions{Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycRes, err := decoder.Evaluate(cyc, decoder.KindUnionFind, shots, 9, rng.New(1))
+		if err != nil {
+			t.Fatalf("%v cycle: %v", kind, err)
+		}
+		static := code.NewPatch(lattice.NewSquare(5))
+		st, err := static.MemoryCircuit(code.MemoryOptions{Rounds: 9, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stRes, err := decoder.Evaluate(st, decoder.KindUnionFind, shots, 9, rng.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v: cycle=%v static=%v", kind, cycRes, stRes)
+		if stRes.Failures == 0 {
+			t.Fatal("static run has no failures; raise p or shots")
+		}
+		if cycRes.LER > 10*stRes.LER {
+			t.Errorf("%v: calibration cycle LER %.4g vs static %.4g — deformation destroys protection", kind, cycRes.LER, stRes.LER)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package dem extracts a detector error model (DEM) from a noisy stabilizer
+// circuit: the list of independent elementary error mechanisms, each with
+// its probability, the set of detectors it flips, and the logical
+// observables it flips.
+//
+// The extraction exploits the linearity of Pauli-frame propagation: every
+// noise channel decomposes into elementary Pauli errors at a circuit
+// location, and each such error deterministically flips a fixed set of
+// measurement record bits, hence a fixed set of detectors. Mechanisms whose
+// symptom involves more than two detectors (e.g. a Y error straddling both
+// stabilizer types) are decomposed into their X and Z parts — which, for the
+// CSS circuits generated in this repository, are always graph-like (≤ 2
+// detectors). This reproduces the Stim circuit→DEM→matching-graph pipeline
+// the paper's evaluation uses.
+package dem
+
+import (
+	"caliqec/internal/circuit"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mechanism is one independent elementary error: with probability P it
+// flips every detector in Detectors and the observables in ObsMask.
+type Mechanism struct {
+	Detectors []int  // sorted detector indices, length 0..2 after decomposition
+	ObsMask   uint64 // bit i set = flips observable i
+	P         float64
+}
+
+// Model is the full detector error model of a circuit.
+type Model struct {
+	NumDetectors int
+	NumObs       int
+	Mechanisms   []Mechanism
+}
+
+// String renders the model, one mechanism per line, for debugging.
+func (m *Model) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DEM: %d detectors, %d observables, %d mechanisms\n",
+		m.NumDetectors, m.NumObs, len(m.Mechanisms))
+	for _, mech := range m.Mechanisms {
+		fmt.Fprintf(&sb, "  p=%.6g D%v obs=%b\n", mech.P, mech.Detectors, mech.ObsMask)
+	}
+	return sb.String()
+}
+
+// pauliBits is a sparse frame: qubit -> (x,z) bits packed as 2 bits.
+type pauliBits map[int]uint8
+
+const (
+	bitX uint8 = 2
+	bitZ uint8 = 1
+)
+
+// FromCircuit extracts the DEM of c. It returns an error if any mechanism
+// remains non-graph-like (more than two detectors) after X/Z decomposition,
+// which indicates the circuit is outside the CSS family this package
+// supports.
+func FromCircuit(c *circuit.Circuit) (*Model, error) {
+	ex := newExtractor(c)
+	return ex.run()
+}
+
+type extractor struct {
+	c *circuit.Circuit
+	// measToDet[r] lists detectors containing measurement record bit r.
+	measToDet [][]int
+	// measToObs[r] is the observable mask of record bit r.
+	measToObs []uint64
+	// measBefore[i] is the number of measurement record bits produced by
+	// instructions strictly before instruction i.
+	measBefore []int
+	// merged accumulates mechanisms keyed by canonical symptom.
+	merged map[string]*Mechanism
+	order  []string // insertion order for deterministic output
+}
+
+func newExtractor(c *circuit.Circuit) *extractor {
+	ex := &extractor{
+		c:         c,
+		measToDet: make([][]int, c.NumMeas),
+		measToObs: make([]uint64, c.NumMeas),
+		merged:    map[string]*Mechanism{},
+	}
+	ex.measBefore = make([]int, len(c.Instructions)+1)
+	for i, in := range c.Instructions {
+		ex.measBefore[i+1] = ex.measBefore[i]
+		switch in.Op {
+		case circuit.OpM, circuit.OpMX:
+			ex.measBefore[i+1] += len(in.Targets)
+		case circuit.OpDetector:
+			for _, r := range in.Recs {
+				ex.measToDet[r] = append(ex.measToDet[r], in.Index)
+			}
+		case circuit.OpObservable:
+			for _, r := range in.Recs {
+				ex.measToObs[r] ^= 1 << uint(in.Index)
+			}
+		}
+	}
+	return ex
+}
+
+func (ex *extractor) run() (*Model, error) {
+	for idx, in := range ex.c.Instructions {
+		switch in.Op {
+		case circuit.OpXError:
+			for _, q := range in.Targets {
+				if err := ex.addPauli(idx, pauliBits{q: bitX}, in.Arg); err != nil {
+					return nil, err
+				}
+			}
+		case circuit.OpZError:
+			for _, q := range in.Targets {
+				if err := ex.addPauli(idx, pauliBits{q: bitZ}, in.Arg); err != nil {
+					return nil, err
+				}
+			}
+		case circuit.OpYError:
+			for _, q := range in.Targets {
+				if err := ex.addPauli(idx, pauliBits{q: bitX | bitZ}, in.Arg); err != nil {
+					return nil, err
+				}
+			}
+		case circuit.OpDepolarize1:
+			for _, q := range in.Targets {
+				p := in.Arg / 3
+				for _, pb := range []uint8{bitX, bitX | bitZ, bitZ} {
+					if err := ex.addPauli(idx, pauliBits{q: pb}, p); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case circuit.OpDepolarize2:
+			for i := 0; i < len(in.Targets); i += 2 {
+				a, b := in.Targets[i], in.Targets[i+1]
+				p := in.Arg / 15
+				for k := 1; k < 16; k++ {
+					pa, pb := uint8(k&3), uint8(k>>2)
+					f := pauliBits{}
+					if pa != 0 {
+						f[a] = pa
+					}
+					if pb != 0 {
+						f[b] = pb
+					}
+					if err := ex.addPauli(idx, f, p); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case circuit.OpReset:
+			if in.Arg > 0 {
+				for _, q := range in.Targets {
+					if err := ex.addPauli(idx, pauliBits{q: bitX}, in.Arg); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case circuit.OpResetX:
+			if in.Arg > 0 {
+				for _, q := range in.Targets {
+					if err := ex.addPauli(idx, pauliBits{q: bitZ}, in.Arg); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case circuit.OpM, circuit.OpMX:
+			if in.Arg > 0 {
+				rec := ex.measIndexAt(idx)
+				for j := range in.Targets {
+					if err := ex.addMeasFlip(rec+j, in.Arg); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	m := &Model{NumDetectors: ex.c.NumDetectors, NumObs: ex.c.NumObs}
+	for _, k := range ex.order {
+		mech := ex.merged[k]
+		if mech.P > 0 {
+			m.Mechanisms = append(m.Mechanisms, *mech)
+		}
+	}
+	return m, nil
+}
+
+// measIndexAt returns the measurement record index of the first target of
+// the instruction at position idx (i.e. records produced before it).
+func (ex *extractor) measIndexAt(idx int) int { return ex.measBefore[idx] }
+
+// addPauli propagates the elementary Pauli error f occurring immediately
+// after instruction idx, and records the resulting mechanism (decomposing
+// into X and Z parts when the full symptom is non-graph-like).
+func (ex *extractor) addPauli(idx int, f pauliBits, p float64) error {
+	if p <= 0 {
+		return nil
+	}
+	dets, obs := ex.propagate(idx, f)
+	if len(dets) <= 2 {
+		ex.merge(dets, obs, p)
+		return nil
+	}
+	// Decompose into X and Z components; frame propagation is linear so the
+	// two partial symptoms XOR to the full one.
+	xPart, zPart := pauliBits{}, pauliBits{}
+	for q, pb := range f {
+		if pb&bitX != 0 {
+			xPart[q] = bitX
+		}
+		if pb&bitZ != 0 {
+			zPart[q] = bitZ
+		}
+	}
+	for _, part := range []pauliBits{xPart, zPart} {
+		if len(part) == 0 {
+			continue
+		}
+		d, o := ex.propagate(idx, part)
+		if len(d) > 2 {
+			// Final fallback: per-qubit elementary split.
+			if len(part) > 1 {
+				ok := true
+				for q, pb := range part {
+					dd, oo := ex.propagate(idx, pauliBits{q: pb})
+					if len(dd) > 2 {
+						ok = false
+						break
+					}
+					ex.merge(dd, oo, p)
+				}
+				if ok {
+					continue
+				}
+			}
+			return fmt.Errorf("dem: non-graph-like mechanism at instruction %d (%d detectors)", idx, len(d))
+		}
+		ex.merge(d, o, p)
+	}
+	return nil
+}
+
+// addMeasFlip records the mechanism of a classical readout flip of record r.
+func (ex *extractor) addMeasFlip(r int, p float64) error {
+	dets := append([]int(nil), ex.measToDet[r]...)
+	sort.Ints(dets)
+	dets = dedupXor(dets)
+	if len(dets) > 2 {
+		return fmt.Errorf("dem: measurement record %d appears in %d detectors", r, len(dets))
+	}
+	ex.merge(dets, ex.measToObs[r], p)
+	return nil
+}
+
+// propagate walks the circuit from instruction idx+1 with initial frame f
+// and returns the flipped detectors (sorted, XOR-reduced) and observables.
+func (ex *extractor) propagate(idx int, f pauliBits) ([]int, uint64) {
+	frame := pauliBits{}
+	for q, pb := range f {
+		frame[q] = pb
+	}
+	var flippedRecs []int
+	meas := ex.measIndexAt(idx)
+	// Account for measurements inside instruction idx itself: an error
+	// "after" a measurement instruction cannot affect its own outcomes.
+	if in := ex.c.Instructions[idx]; in.Op == circuit.OpM || in.Op == circuit.OpMX {
+		meas += len(in.Targets)
+	}
+	for i := idx + 1; i < len(ex.c.Instructions); i++ {
+		in := ex.c.Instructions[i]
+		switch in.Op {
+		case circuit.OpH:
+			for _, q := range in.Targets {
+				if pb, ok := frame[q]; ok {
+					frame[q] = (pb&bitX)>>1 | (pb&bitZ)<<1
+				}
+			}
+		case circuit.OpS:
+			for _, q := range in.Targets {
+				if pb, ok := frame[q]; ok && pb&bitX != 0 {
+					frame[q] = pb ^ bitZ
+					if frame[q] == 0 {
+						delete(frame, q)
+					}
+				}
+			}
+		case circuit.OpCX:
+			for j := 0; j < len(in.Targets); j += 2 {
+				c, t := in.Targets[j], in.Targets[j+1]
+				if frame[c]&bitX != 0 {
+					toggle(frame, t, bitX)
+				}
+				if frame[t]&bitZ != 0 {
+					toggle(frame, c, bitZ)
+				}
+			}
+		case circuit.OpCZ:
+			for j := 0; j < len(in.Targets); j += 2 {
+				a, b := in.Targets[j], in.Targets[j+1]
+				if frame[a]&bitX != 0 {
+					toggle(frame, b, bitZ)
+				}
+				if frame[b]&bitX != 0 {
+					toggle(frame, a, bitZ)
+				}
+			}
+		case circuit.OpSwap:
+			for j := 0; j < len(in.Targets); j += 2 {
+				a, b := in.Targets[j], in.Targets[j+1]
+				fa, fb := frame[a], frame[b]
+				setOrDelete(frame, a, fb)
+				setOrDelete(frame, b, fa)
+			}
+		case circuit.OpReset, circuit.OpResetX:
+			for _, q := range in.Targets {
+				delete(frame, q)
+			}
+		case circuit.OpM:
+			for _, q := range in.Targets {
+				if frame[q]&bitX != 0 {
+					flippedRecs = append(flippedRecs, meas)
+				}
+				// Z component is destroyed by the collapse.
+				if pb, ok := frame[q]; ok {
+					setOrDelete(frame, q, pb&bitX)
+				}
+				meas++
+			}
+		case circuit.OpMX:
+			for _, q := range in.Targets {
+				if frame[q]&bitZ != 0 {
+					flippedRecs = append(flippedRecs, meas)
+				}
+				if pb, ok := frame[q]; ok {
+					setOrDelete(frame, q, pb&bitZ)
+				}
+				meas++
+			}
+		}
+		if len(frame) == 0 {
+			// The frame has been absorbed; no further records can flip.
+			break
+		}
+	}
+	var dets []int
+	var obs uint64
+	for _, r := range flippedRecs {
+		dets = append(dets, ex.measToDet[r]...)
+		obs ^= ex.measToObs[r]
+	}
+	sort.Ints(dets)
+	return dedupXor(dets), obs
+}
+
+func toggle(frame pauliBits, q int, bit uint8) {
+	pb := frame[q] ^ bit
+	setOrDelete(frame, q, pb)
+}
+
+func setOrDelete(frame pauliBits, q int, pb uint8) {
+	if pb == 0 {
+		delete(frame, q)
+	} else {
+		frame[q] = pb
+	}
+}
+
+// dedupXor removes pairs of equal values from a sorted slice (XOR
+// semantics: a detector flipped twice is not flipped).
+func dedupXor(sorted []int) []int {
+	out := sorted[:0]
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			out = append(out, sorted[i])
+		}
+		i = j
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return append([]int(nil), out...)
+}
+
+// merge folds a mechanism into the accumulator, combining probabilities of
+// identical symptoms as independent sources: p ← p₁(1−p₂) + p₂(1−p₁).
+func (ex *extractor) merge(dets []int, obs uint64, p float64) {
+	if len(dets) == 0 && obs == 0 {
+		return // invisible error: no detectors, no logical effect
+	}
+	key := fmt.Sprint(dets, obs)
+	if m, ok := ex.merged[key]; ok {
+		m.P = m.P*(1-p) + p*(1-m.P)
+		return
+	}
+	ex.merged[key] = &Mechanism{Detectors: append([]int(nil), dets...), ObsMask: obs, P: p}
+	ex.order = append(ex.order, key)
+}

@@ -1,0 +1,179 @@
+package dem
+
+import (
+	"caliqec/internal/circuit"
+	"math"
+	"testing"
+)
+
+// repCode builds a 3-qubit repetition code round with data X noise p and
+// measurement flip q.
+func repCode(rounds int, p, q float64) *circuit.Circuit {
+	b := circuit.NewBuilder(5)
+	b.Reset(0, 0, 1, 2)
+	var prev []int
+	for r := 0; r < rounds; r++ {
+		b.XError(p, 0, 1, 2)
+		b.Reset(0, 3, 4)
+		b.CX(0, 3, 1, 3)
+		b.CX(1, 4, 2, 4)
+		recs := b.M(q, 3, 4)
+		if r == 0 {
+			b.Detector(recs[0])
+			b.Detector(recs[1])
+		} else {
+			b.Detector(prev[0], recs[0])
+			b.Detector(prev[1], recs[1])
+		}
+		prev = recs
+	}
+	dr := b.M(0, 0, 1, 2)
+	b.Detector(prev[0], dr[0], dr[1])
+	b.Detector(prev[1], dr[1], dr[2])
+	b.Observable(0, dr[0])
+	return b.Build()
+}
+
+func TestRepCodeDEMStructure(t *testing.T) {
+	m, err := FromCircuit(repCode(2, 1e-3, 1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDetectors != 6 || m.NumObs != 1 {
+		t.Fatalf("detectors=%d obs=%d", m.NumDetectors, m.NumObs)
+	}
+	// Every mechanism is graph-like and has sane probability.
+	edgeCount, boundaryCount := 0, 0
+	for _, mech := range m.Mechanisms {
+		if len(mech.Detectors) > 2 {
+			t.Fatalf("non-graph-like mechanism %v", mech)
+		}
+		if mech.P <= 0 || mech.P > 0.5 {
+			t.Errorf("probability out of range: %v", mech)
+		}
+		if len(mech.Detectors) == 2 {
+			edgeCount++
+		} else {
+			boundaryCount++
+		}
+	}
+	if edgeCount == 0 || boundaryCount == 0 {
+		t.Errorf("edges=%d boundary=%d; expected both kinds", edgeCount, boundaryCount)
+	}
+	// An X error on the edge qubit q0 in round 0 flips detector 0 and the
+	// observable: find that boundary mechanism.
+	found := false
+	for _, mech := range m.Mechanisms {
+		if len(mech.Detectors) == 1 && mech.Detectors[0] == 0 && mech.ObsMask == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing boundary mechanism with observable flip (X on q0)")
+	}
+}
+
+func TestMergedProbabilities(t *testing.T) {
+	// Two identical X error channels on the same qubit must merge:
+	// p = p1(1-p2) + p2(1-p1).
+	b := circuit.NewBuilder(2)
+	b.Reset(0, 0)
+	b.XError(0.1, 0)
+	b.XError(0.2, 0)
+	b.Reset(0, 1)
+	b.CX(0, 1)
+	recs := b.M(0, 1)
+	b.Detector(recs[0])
+	m, err := FromCircuit(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Mechanisms) != 1 {
+		t.Fatalf("want 1 merged mechanism, got %d", len(m.Mechanisms))
+	}
+	want := 0.1*0.8 + 0.2*0.9
+	if math.Abs(m.Mechanisms[0].P-want) > 1e-12 {
+		t.Errorf("merged p=%.6f, want %.6f", m.Mechanisms[0].P, want)
+	}
+}
+
+func TestInvisibleErrorDropped(t *testing.T) {
+	// A Z error on a qubit that is only ever Z-measured is invisible.
+	b := circuit.NewBuilder(1)
+	b.Reset(0, 0)
+	b.ZError(0.3, 0)
+	recs := b.M(0, 0)
+	b.Detector(recs[0])
+	m, err := FromCircuit(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Mechanisms) != 0 {
+		t.Errorf("invisible error produced mechanisms: %v", m.Mechanisms)
+	}
+}
+
+func TestDepolarize1Decomposition(t *testing.T) {
+	// DEPOLARIZE1 on a qubit measured in Z: X and Y components flip the
+	// outcome (each p/3, merged), Z component invisible.
+	b := circuit.NewBuilder(1)
+	b.Reset(0, 0)
+	b.Depolarize1(0.3, 0)
+	recs := b.M(0, 0)
+	b.Detector(recs[0])
+	m, err := FromCircuit(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Mechanisms) != 1 {
+		t.Fatalf("want 1 mechanism, got %d: %v", len(m.Mechanisms), m.Mechanisms)
+	}
+	// X and Y components (0.1 each) merge: 0.1·0.9 + 0.1·0.9 = 0.18.
+	if got := m.Mechanisms[0].P; math.Abs(got-0.18) > 1e-12 {
+		t.Errorf("merged DEPOLARIZE1 visibility %.6f, want 0.18", got)
+	}
+}
+
+func TestYErrorDecomposesWhenNonGraphlike(t *testing.T) {
+	// Construct a circuit where a Y error flips 4 detectors (2 from its X
+	// part, 2 from its Z part): the extractor must split it.
+	b := circuit.NewBuilder(6) // data 0; Z-ancillas 1,2; X-ancillas 3,4; spare 5
+	b.Reset(0, 0)
+	b.ResetX(0, 5)
+	var prevZ, prevX []int
+	for r := 0; r < 2; r++ {
+		if r == 1 {
+			b.YError(0.1, 0)
+		}
+		// Z-parity checks touching qubit 0 twice (two ancillas).
+		b.Reset(0, 1, 2)
+		b.CX(0, 1, 0, 2)
+		zr := b.M(0, 1, 2)
+		// X-parity checks: ancilla in |+>, CX(anc→data), measure X.
+		b.ResetX(0, 3)
+		b.ResetX(0, 4)
+		b.CX(3, 0, 4, 0)
+		b.CX(3, 5, 4, 5) // anchor second support so X checks are 2-qubit
+		xr := b.MX(0, 3, 4)
+		if r == 0 {
+			b.Detector(zr[0])
+			b.Detector(zr[1])
+		} else {
+			b.Detector(prevZ[0], zr[0])
+			b.Detector(prevZ[1], zr[1])
+			b.Detector(prevX[0], xr[0])
+			b.Detector(prevX[1], xr[1])
+		}
+		prevZ = zr
+		prevX = xr
+	}
+	m, err := FromCircuit(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range m.Mechanisms {
+		if len(mech.Detectors) > 2 {
+			t.Fatalf("Y decomposition failed: %v", mech)
+		}
+	}
+}

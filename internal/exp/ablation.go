@@ -1,0 +1,283 @@
+package exp
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/deform"
+	"caliqec/internal/dem"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"caliqec/internal/runtime"
+	"caliqec/internal/workload"
+	"fmt"
+	"time"
+)
+
+// AblateDecoder compares the production union-find decoder against the
+// matching baseline on identical circuits: logical error rate and decoding
+// throughput. This is the design-choice ablation for substituting
+// union-find (the paper's cited decoder family for deformed codes) in
+// place of PyMatching.
+func AblateDecoder(seed uint64) (*Report, error) {
+	rep := &Report{
+		ID:     "ablate-decoder",
+		Title:  "Decoder ablation: union-find vs matching baseline",
+		Header: []string{"d", "p", "decoder", "LER", "µs/shot"},
+	}
+	const shots = 30000
+	for _, d := range []int{3, 5} {
+		for _, p := range []float64{2e-3, 4e-3} {
+			patch := code.NewPatch(lattice.NewSquare(d))
+			c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: d, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range []decoder.DecoderKind{decoder.KindUnionFind, decoder.KindGreedy} {
+				name := "union-find"
+				if kind == decoder.KindGreedy {
+					name = "matching"
+				}
+				start := time.Now()
+				res, err := decoder.Evaluate(c, kind, shots, d, rng.New(seed+uint64(d)))
+				if err != nil {
+					return nil, err
+				}
+				perShot := time.Since(start).Seconds() * 1e6 / shots
+				rep.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.3g", p), name,
+					fmt.Sprintf("%.4g", res.LER), fmt.Sprintf("%.1f", perShot))
+				rep.SetValue(fmt.Sprintf("%s_d%d_p%.0e", name, d, p), res.LER)
+			}
+		}
+	}
+	rep.AddNote("shape: the two decoders agree within a small factor; union-find is the faster production choice")
+	return rep, nil
+}
+
+// AblateDeltaD sweeps CaliQEC's maximum tolerable distance loss Δd (the
+// paper fixes Δd = 4, §7.3) on the Hubbard-10-10 row: larger Δd buys more
+// calibration parallelism at more interspace qubits.
+func AblateDeltaD(seed uint64) (*Report, error) {
+	rep := &Report{
+		ID:     "ablate-deltad",
+		Title:  "Δd ablation on Hubbard-10-10 (d=25)",
+		Header: []string{"Δd", "physical qubits", "qubit overhead", "retry risk"},
+	}
+	base, err := runtime.Run(runtime.Config{
+		Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: seed,
+	}, runtime.StrategyNoCal)
+	if err != nil {
+		return nil, err
+	}
+	for _, dd := range []int{1, 2, 4, 8} {
+		res, err := runtime.Run(runtime.Config{
+			Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: seed, DeltaD: dd,
+		}, runtime.StrategyCaliQEC)
+		if err != nil {
+			return nil, err
+		}
+		over := res.PhysicalQubits/base.PhysicalQubits - 1
+		rep.AddRow(fmt.Sprintf("%d", dd), fmt.Sprintf("%.3g", res.PhysicalQubits),
+			fmt.Sprintf("%.1f%%", 100*over), fmt.Sprintf("%.3g%%", 100*res.RetryRisk))
+		rep.SetValue(fmt.Sprintf("overhead_dd%d", dd), over)
+	}
+	rep.AddNote("paper fixes Δd=4; the sweep shows the linear interspace cost ≈ Δd/d per dimension")
+	return rep, nil
+}
+
+// AblatePriors quantifies the stale-decoder-priors effect underlying
+// Fig. 13: the same drifted circuit decoded with matched (drift-aware) vs
+// calibrated (stale) priors.
+func AblatePriors(seed uint64) (*Report, error) {
+	rep := &Report{
+		ID:     "ablate-priors",
+		Title:  "Decoder-prior ablation: drift-aware vs stale priors on a drifted d=3 code",
+		Header: []string{"scenario", "LER", "95% CI"},
+	}
+	const (
+		p     = 1.2e-2
+		drift = 10.0
+		shots = 60000
+	)
+	patch := code.NewPatch(lattice.NewSquare(3))
+	dq := patch.Lat.DataID[[2]int{1, 1}]
+	noisy, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: &driftedOne{base: p, q: dq, factor: drift}})
+	if err != nil {
+		return nil, err
+	}
+	prior, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+	if err != nil {
+		return nil, err
+	}
+	matched, err := decoder.Evaluate(noisy, decoder.KindUnionFind, shots, 3, rng.New(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	stale, err := decoder.EvaluateMismatched(noisy, prior, decoder.KindUnionFind, shots, 3, rng.New(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	rep.AddRow("drift-aware priors", fmt.Sprintf("%.4g", matched.LER), fmt.Sprintf("[%.3g,%.3g]", matched.WilsonLo, matched.WilsonHi))
+	rep.AddRow("stale priors", fmt.Sprintf("%.4g", stale.LER), fmt.Sprintf("[%.3g,%.3g]", stale.WilsonLo, stale.WilsonHi))
+	rep.SetValue("matched", matched.LER)
+	rep.SetValue("stale", stale.LER)
+	if matched.LER > 0 {
+		rep.SetValue("stale_penalty", stale.LER/matched.LER)
+	}
+	rep.AddNote("stale priors (the operational reality between calibrations) decode the drifted gate worse; CaliQEC re-derives the decoder on every deformation")
+	return rep, nil
+}
+
+// driftedOne elevates every channel touching one qubit by a factor.
+type driftedOne struct {
+	base   float64
+	q      int
+	factor float64
+}
+
+func (d *driftedOne) rate(q int) float64 {
+	if q == d.q {
+		return d.base * d.factor
+	}
+	return d.base
+}
+
+// Gate1 implements code.NoiseModel.
+func (d *driftedOne) Gate1(q int) float64 { return d.rate(q) }
+
+// Gate2 implements code.NoiseModel.
+func (d *driftedOne) Gate2(a, b int) float64 {
+	if a == d.q || b == d.q {
+		return d.base * d.factor
+	}
+	return d.base
+}
+
+// Meas implements code.NoiseModel.
+func (d *driftedOne) Meas(q int) float64 { return d.rate(q) }
+
+// Reset implements code.NoiseModel.
+func (d *driftedOne) Reset(q int) float64 { return d.rate(q) }
+
+// AblateSchedule compares the default sequential X-then-Z extraction
+// schedule (required for gauge-fixed deformed codes) against the standard
+// interleaved simultaneous schedule on pristine square patches: same gate
+// counts under the per-gate noise model, different hook-error structure.
+func AblateSchedule(seed uint64) (*Report, error) {
+	rep := &Report{
+		ID:     "ablate-schedule",
+		Title:  "Extraction-schedule ablation: sequential phases vs interleaved",
+		Header: []string{"d", "p", "schedule", "LER"},
+	}
+	const shots = 40000
+	for _, d := range []int{3, 5} {
+		p := 3e-3
+		patch := code.NewPatch(lattice.NewSquare(d))
+		for _, il := range []bool{false, true} {
+			name := "sequential"
+			if il {
+				name = "interleaved"
+			}
+			c, err := patch.MemoryCircuit(code.MemoryOptions{
+				Rounds: d, Basis: lattice.BasisZ, Noise: code.UniformNoise(p), Interleaved: il,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := decoder.EvaluateParallel(c, decoder.KindUnionFind, shots, d, 0, rng.New(seed+uint64(d)))
+			if err != nil {
+				return nil, err
+			}
+			rep.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.3g", p), name, fmt.Sprintf("%.4g", res.LER))
+			rep.SetValue(fmt.Sprintf("%s_d%d", name, d), res.LER)
+		}
+	}
+	rep.AddNote("the sequential schedule (needed for deformed-code gauge fixing) costs only an O(1) factor over the hardware-standard interleaved schedule")
+	return rep, nil
+}
+
+// DecodeCost validates the paper's §2.2 claim that decoders handle
+// deformed codes "ensuring minimal impact on decoding time": union-find
+// decode latency is measured on a pristine patch, an isolated (deformed)
+// patch, and a full deformation timeline.
+func DecodeCost(seed uint64) (*Report, error) {
+	rep := &Report{
+		ID:     "decode-cost",
+		Title:  "Decoding-time impact of code deformation (union-find, d=5)",
+		Header: []string{"structure", "detectors", "graph edges", "µs/shot", "vs pristine"},
+	}
+	const (
+		d      = 5
+		p      = 2e-3
+		rounds = 6
+		shots  = 20000
+	)
+	mk := func() *code.Patch { return code.NewPatch(lattice.NewSquare(d)) }
+	timeIt := func(c *circuitT) (float64, int, error) {
+		start := time.Now()
+		if _, err := decoder.Evaluate(c.c, decoder.KindUnionFind, shots, rounds, rng.New(seed+c.off)); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start).Seconds() * 1e6 / shots, c.c.NumDetectors, nil
+	}
+	// Pristine.
+	pr := mk()
+	cPr, err := pr.MemoryCircuit(code.MemoryOptions{Rounds: rounds, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+	if err != nil {
+		return nil, err
+	}
+	// Deformed (one interior qubit isolated).
+	iso := mk()
+	df := deform.NewDeformer(iso)
+	if _, err := df.IsolateQubit(iso.Lat.DataID[[2]int{2, 2}], "t"); err != nil {
+		return nil, err
+	}
+	cIso, err := df.Patch.MemoryCircuit(code.MemoryOptions{Rounds: rounds, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+	if err != nil {
+		return nil, err
+	}
+	// Full timeline (pristine → isolated → reintegrated).
+	cTl, err := code.TimelineCircuit([]code.Epoch{
+		{Patch: mk(), Rounds: 2}, {Patch: df.Patch, Rounds: 2}, {Patch: mk(), Rounds: 2},
+	}, code.TimelineOptions{Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+	if err != nil {
+		return nil, err
+	}
+	var base float64
+	for _, row := range []struct {
+		name string
+		ct   *circuitT
+	}{
+		{"pristine", &circuitT{cPr, 1}},
+		{"isolated (DataQ_RM)", &circuitT{cIso, 2}},
+		{"deformation timeline", &circuitT{cTl, 3}},
+	} {
+		us, dets, err := timeIt(row.ct)
+		if err != nil {
+			return nil, err
+		}
+		edges := "-"
+		if m, err := dem.FromCircuit(row.ct.c); err == nil {
+			if g, err := decoder.BuildGraph(m); err == nil {
+				edges = fmt.Sprintf("%d", len(g.Edges))
+			}
+		}
+		rel := "1.00x"
+		if base == 0 {
+			base = us
+		} else {
+			rel = fmt.Sprintf("%.2fx", us/base)
+		}
+		rep.AddRow(row.name, fmt.Sprintf("%d", dets), edges, fmt.Sprintf("%.1f", us), rel)
+		rep.SetValue(keyify(row.name), us)
+	}
+	rep.SetValue("deformed_over_pristine", rep.Values[keyify("isolated (DataQ_RM)")]/rep.Values["pristine"])
+	rep.AddNote("paper §2.2: decoders handle dynamically changing stabilizers with minimal impact on decoding time")
+	return rep, nil
+}
+
+// circuitT pairs a circuit with a seed offset for DecodeCost.
+type circuitT struct {
+	c   *circuit.Circuit
+	off uint64
+}

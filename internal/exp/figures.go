@@ -1,0 +1,336 @@
+package exp
+
+import (
+	"caliqec/internal/device"
+	"caliqec/internal/lattice"
+	"caliqec/internal/ler"
+	"caliqec/internal/noise"
+	"caliqec/internal/rng"
+	"caliqec/internal/sched"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fig1Drift reproduces Fig. 1: the fraction of gates exceeding the surface
+// code threshold over 24 hours on an Eagle-class synthetic device, with and
+// without periodic calibration.
+func Fig1Drift(seed uint64) (*Report, error) {
+	r := rng.New(seed)
+	lat := lattice.NewHeavyHex(7) // 127-qubit-class heavy-hex slab
+	dev := device.New(lat, device.Options{}, r)
+	rep := &Report{
+		ID:     "fig1",
+		Title:  "Error drift: fraction of gates above threshold over 24 h",
+		Header: []string{"hour", "no-cal frac>th", "no-cal mean p", "calibrated frac>th"},
+	}
+	devCal := device.New(lat, device.Options{}, rng.New(seed)) // identical twin, calibrated every 4 h
+	const calPeriod = 4.0
+	for h := 0; h <= 24; h += 2 {
+		t := float64(h)
+		// Calibrated twin: full recalibration every calPeriod.
+		if h > 0 && h%int(calPeriod) == 0 {
+			devCal.CalibrateAll(t)
+		}
+		rep.AddRow(
+			fmt.Sprintf("%d", h),
+			fmt.Sprintf("%.3f", dev.FractionAbove(t, noise.Threshold)),
+			fmt.Sprintf("%.4g", dev.MeanErrorAt(t)),
+			fmt.Sprintf("%.3f", devCal.FractionAbove(t, noise.Threshold)),
+		)
+	}
+	f24 := dev.FractionAbove(24, noise.Threshold)
+	rep.SetValue("frac_above_threshold_24h_nocal", f24)
+	rep.SetValue("frac_above_threshold_24h_cal", devCal.FractionAbove(24, noise.Threshold))
+	rep.AddNote("paper: after one day >90%% of single-qubit gates exceed threshold without calibration; measured %.0f%%", 100*f24)
+	return rep, nil
+}
+
+// Fig7Grouping reproduces the Fig. 7 worked example: the impact of the base
+// calibration interval T_Cali on total calibration frequency.
+func Fig7Grouping(uint64) (*Report, error) {
+	// Gate deadlines {5, 8, 9, 13, 14} hours (drift constants with one
+	// decade of headroom).
+	var gates []sched.GateProfile
+	for i, h := range []float64{5, 8, 9, 13, 14} {
+		gates = append(gates, sched.GateProfile{GateID: i, Drift: noise.Drift{P0: 1e-3, TDrift: h}})
+	}
+	const pTar = 1e-2
+	rep := &Report{
+		ID:     "fig7",
+		Title:  "Choice of base interval T_Cali (worked example)",
+		Header: []string{"T_Cali (h)", "calibrations/hour"},
+	}
+	gr, err := sched.AssignGroups(gates, pTar)
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range []float64{5, 4.5, 4} {
+		f := 0.0
+		for i := range gates {
+			k := math.Floor(gates[i].DeadlineHours(pTar) / tc)
+			f += 1 / (k * tc)
+		}
+		rep.AddRow(fmt.Sprintf("%.1f", tc), fmt.Sprintf("%.3f", f))
+	}
+	rep.SetValue("tcali_naive_hours", 5)
+	rep.SetValue("freq_naive", 0.80)
+	rep.SetValue("tcali_opt_hours", gr.TCaliHours)
+	rep.SetValue("freq_opt", gr.TotalFrequency())
+	rep.AddNote("paper Fig. 7: T_Cali=5h gives 0.80 cal/h; the optimizer finds 4h at 0.66 cal/h")
+	return rep, nil
+}
+
+// Fig9DriftDistribution reproduces Fig. 9: the log-normal distribution of
+// drift time constants (mean 14.08 h).
+func Fig9DriftDistribution(seed uint64) (*Report, error) {
+	r := rng.New(seed)
+	m := noise.CurrentModel()
+	const n = 10000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = m.SampleTDrift(r)
+	}
+	rep := &Report{
+		ID:     "fig9",
+		Title:  "Distribution of drift time constants T(G)",
+		Header: []string{"bin (h)", "count", "histogram"},
+	}
+	edges := []float64{0, 4, 8, 12, 16, 20, 24, 32, 40, 56, 80, math.Inf(1)}
+	counts := make([]int, len(edges)-1)
+	for _, s := range samples {
+		for b := 0; b < len(edges)-1; b++ {
+			if s >= edges[b] && s < edges[b+1] {
+				counts[b]++
+				break
+			}
+		}
+	}
+	for b, c := range counts {
+		hi := fmt.Sprintf("%.0f", edges[b+1])
+		if math.IsInf(edges[b+1], 1) {
+			hi = "inf"
+		}
+		bar := ""
+		for i := 0; i < c/100; i++ {
+			bar += "#"
+		}
+		rep.AddRow(fmt.Sprintf("%.0f-%s", edges[b], hi), fmt.Sprintf("%d", c), bar)
+	}
+	mean := rng.Mean(samples)
+	rep.SetValue("mean_hours", mean)
+	rep.SetValue("p50_hours", rng.Percentile(samples, 50))
+	rep.SetValue("p90_hours", rng.Percentile(samples, 90))
+	rep.AddNote("paper: log-normal with mean 14.08 h; measured sample mean %.2f h", mean)
+	return rep, nil
+}
+
+// Fig10LERTrajectory reproduces Fig. 10: LER dynamics of a d=11 patch under
+// error drift for (1) no calibration, (2) qubit isolation + calibration
+// without enlargement, (3) full CaliQEC with code enlargement.
+func Fig10LERTrajectory(seed uint64) (*Report, error) {
+	const (
+		d         = 11
+		deltaD    = 4    // distance lost while the calibration region is isolated
+		calDur    = 1.0  // hours a calibration window lasts
+		horizon   = 30.0 // hours simulated
+		step      = 0.5
+		tDriftEff = 14.08 // effective device drift constant
+	)
+	model := ler.PaperModel()
+	drift := noise.Drift{P0: noise.InitialErrorRate, TDrift: tDriftEff}
+	// The calibration cycle is 8 h: error drifts up to p_tar = p(8h), the
+	// last calDur hours of each cycle are the calibration window (the
+	// region is isolated while the device is still drifted — that is why
+	// isolation without enlargement spikes), and the drift clock resets at
+	// the cycle boundary.
+	const cycle = 8.0
+	pTar := drift.At(cycle)
+	lerThreshold := model.PerCycle(d, pTar)
+
+	pNoCal := func(t float64) float64 { return drift.At(t) }
+	pCal := func(t float64) float64 { return drift.At(math.Mod(t, cycle)) }
+	inWindow := func(t float64) bool { return math.Mod(t, cycle) >= cycle-calDur }
+	dIsolOnly := func(t float64) int {
+		if inWindow(t) {
+			return d - deltaD // distance lost, no compensation
+		}
+		return d
+	}
+	dFull := func(t float64) int { return d } // enlargement compensates
+
+	trajNo := ler.Trajectory(model, horizon, step, pNoCal, func(float64) int { return d })
+	trajIso := ler.Trajectory(model, horizon, step, pCal, dIsolOnly)
+	trajFull := ler.Trajectory(model, horizon, step, pCal, dFull)
+
+	rep := &Report{
+		ID:     "fig10",
+		Title:  "d=11 LER dynamics under drift (threshold = LER at p_tar)",
+		Header: []string{"hour", "no-cal", "isolation only", "isolation+enlargement", "above threshold?"},
+	}
+	var spikeIso, spikeFull bool
+	for i := range trajNo {
+		mark := ""
+		if trajIso[i].LER > lerThreshold {
+			spikeIso = true
+			mark = "isolation-only spikes"
+		}
+		if trajFull[i].LER > lerThreshold*1.0001 {
+			spikeFull = true
+		}
+		rep.AddRow(
+			fmt.Sprintf("%.1f", trajNo[i].Hours),
+			fmt.Sprintf("%.3g", trajNo[i].LER),
+			fmt.Sprintf("%.3g", trajIso[i].LER),
+			fmt.Sprintf("%.3g", trajFull[i].LER),
+			mark,
+		)
+	}
+	rep.SetValue("ler_threshold", lerThreshold)
+	rep.SetValue("nocal_final_over_threshold", trajNo[len(trajNo)-1].LER/lerThreshold)
+	rep.SetValue("isolation_only_spikes", b2f(spikeIso))
+	rep.SetValue("full_caliqec_spikes", b2f(spikeFull))
+	rep.AddNote("paper: without calibration LER grows exponentially; isolation-only briefly spikes above threshold; full CaliQEC stays below")
+	_ = seed
+	return rep, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Fig11GroupingReduction reproduces Fig. 11: total calibration operations
+// under uniform calibration, CaliQEC's adaptive grouping, and the ideal
+// per-gate schedule, over a multi-day horizon.
+func Fig11GroupingReduction(seed uint64) (*Report, error) {
+	r := rng.New(seed)
+	model := noise.CurrentModel()
+	const (
+		nGates  = 200
+		horizon = 7 * 24.0 // hours
+	)
+	var gates []sched.GateProfile
+	for i := 0; i < nGates; i++ {
+		gates = append(gates, sched.GateProfile{
+			GateID: i,
+			Drift:  noise.Drift{P0: noise.InitialErrorRate, TDrift: model.SampleTDrift(r)},
+		})
+	}
+	pTar := noise.InitialErrorRate * math.Pow(10, 0.5) // half-decade headroom
+	gr, err := sched.AssignGroups(gates, pTar)
+	if err != nil {
+		return nil, err
+	}
+	// Uniform: every gate calibrated whenever any gate requires it — i.e.
+	// all gates at the minimum deadline.
+	minDeadline := math.Inf(1)
+	var deadlines []float64
+	for i := range gates {
+		d := gates[i].DeadlineHours(pTar)
+		deadlines = append(deadlines, d)
+		if d < minDeadline {
+			minDeadline = d
+		}
+	}
+	uniform := float64(nGates) * math.Floor(horizon/minDeadline)
+	ideal := 0.0
+	for _, d := range deadlines {
+		ideal += math.Floor(horizon / d)
+	}
+	adaptive := 0.0
+	for k, g := range gr.Groups {
+		adaptive += float64(len(g)) * math.Floor(horizon/(float64(k)*gr.TCaliHours))
+	}
+	rep := &Report{
+		ID:     "fig11",
+		Title:  "Calibration-count reduction through adaptive grouping (7-day horizon)",
+		Header: []string{"strategy", "calibrations", "vs uniform"},
+	}
+	rep.AddRow("uniform", fmt.Sprintf("%.0f", uniform), "1.00x")
+	rep.AddRow("adaptive (CaliQEC)", fmt.Sprintf("%.0f", adaptive), fmt.Sprintf("%.2fx fewer", uniform/adaptive))
+	rep.AddRow("ideal (per-gate)", fmt.Sprintf("%.0f", ideal), fmt.Sprintf("%.2fx fewer", uniform/ideal))
+	rep.SetValue("uniform", uniform)
+	rep.SetValue("adaptive", adaptive)
+	rep.SetValue("ideal", ideal)
+	rep.SetValue("reduction_vs_uniform", uniform/adaptive)
+	rep.AddNote("paper: adaptive grouping reduces calibration operations 3.63–11.1x vs uniform (91%% reduction headline)")
+	return rep, nil
+}
+
+// Fig12SpaceTime reproduces Fig. 12: the space-time overhead (Δd × T_cal)
+// of sequential, bulk and adaptive intra-group scheduling across code
+// distances.
+func Fig12SpaceTime(seed uint64) (*Report, error) {
+	rep := &Report{
+		ID:     "fig12",
+		Title:  "Space-time overhead of calibration scheduling",
+		Header: []string{"d", "sequential", "bulk", "adaptive", "seq/adp", "bulk/adp"},
+	}
+	var seqR, bulkR []float64
+	for _, d := range []int{11, 15, 19, 23, 27} {
+		r := rng.New(seed + uint64(d))
+		tasks := syntheticTasks(d, r)
+		lossEst := sched.SumDiameterLoss{Coord: func(q int) (int, int) { return q / d, q % d }}
+		seq, err := sched.BuildSchedule(tasks, sched.StrategySequential, nil, lossEst, 0)
+		if err != nil {
+			return nil, err
+		}
+		bulk, err := sched.BuildSchedule(tasks, sched.StrategyBulk, nil, lossEst, 0)
+		if err != nil {
+			return nil, err
+		}
+		adp, err := sched.BuildSchedule(tasks, sched.StrategyAdaptive, nil, lossEst, 32)
+		if err != nil {
+			return nil, err
+		}
+		rs, rb := seq.SpaceTimeCost()/adp.SpaceTimeCost(), bulk.SpaceTimeCost()/adp.SpaceTimeCost()
+		seqR = append(seqR, rs)
+		bulkR = append(bulkR, rb)
+		rep.AddRow(
+			fmt.Sprintf("%d", d),
+			fmt.Sprintf("%.3f", seq.SpaceTimeCost()),
+			fmt.Sprintf("%.3f", bulk.SpaceTimeCost()),
+			fmt.Sprintf("%.3f", adp.SpaceTimeCost()),
+			fmt.Sprintf("%.2fx", rs),
+			fmt.Sprintf("%.2fx", rb),
+		)
+	}
+	rep.SetValue("seq_over_adaptive_mean", rng.Mean(seqR))
+	rep.SetValue("bulk_over_adaptive_mean", rng.Mean(bulkR))
+	rep.AddNote("paper: adaptive scheduling reduces space-time overhead 2.89x vs sequential, 3.8x vs bulk")
+	return rep, nil
+}
+
+// syntheticTasks builds one interval's calibration workload on a d×d patch:
+// a mix of quick single-qubit touch-ups and slower multi-qubit regions
+// (2Q gates plus their crosstalk neighbourhoods), with heterogeneous
+// durations — the regime where neither sequential nor bulk scheduling is
+// close to optimal (§8.2.3).
+func syntheticTasks(d int, r *rng.RNG) []sched.Task {
+	n := 2 * d
+	var tasks []sched.Task
+	for i := 0; i < n; i++ {
+		row, col := r.Intn(d), r.Intn(d)
+		size := 1
+		if r.Bernoulli(0.4) {
+			size = 2 + r.Intn(4) // crosstalk-expanded region
+		}
+		var region []int
+		for k := 0; k < size; k++ {
+			q := ((row+k/2)%d)*d + (col+k%2)%d
+			region = append(region, q)
+		}
+		// Durations span 2 minutes to ~45 minutes, long tail on the large
+		// regions (full 2Q retuning is slow).
+		hours := 2.0/60 + r.Float64()*6.0/60
+		if size > 2 {
+			hours += r.Float64() * 35.0 / 60
+		}
+		tasks = append(tasks, sched.Task{GateID: i, Region: region, CaliHours: hours})
+	}
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].GateID < tasks[b].GateID })
+	return tasks
+}

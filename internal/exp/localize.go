@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"caliqec/internal/charac"
+	"caliqec/internal/code"
+	"caliqec/internal/lattice"
+	"caliqec/internal/noise"
+	"caliqec/internal/rng"
+	"fmt"
+)
+
+// LocalizeDrift is an extension experiment: runtime drift detection from
+// the syndrome stream. The paper triggers calibration from preparation-time
+// drift constants; here the detector firing rates the QEC cycle already
+// produces are compared against the calibrated baseline, and the excess is
+// attributed to physical qubits. A 10×-drifted gate is localized to its
+// qubit (or an immediately adjacent check ancilla) without any
+// characterization downtime — the natural runtime trigger for CaliQEC's
+// isolation instructions.
+func LocalizeDrift(seed uint64) (*Report, error) {
+	const (
+		d      = 5
+		rounds = 5
+		shots  = 60000
+		base   = 1.5e-3
+		factor = 10.0
+	)
+	rep := &Report{
+		ID:     "localize",
+		Title:  "Syndrome-based drift localization (d=5, one 10x drifted data qubit)",
+		Header: []string{"rank", "qubit", "role", "z-score", "is hot / adjacent?"},
+	}
+	p := code.NewPatch(lattice.NewSquare(d))
+	hot := p.Lat.DataID[[2]int{2, 2}]
+	cBase, err := p.MemoryCircuit(code.MemoryOptions{Rounds: rounds, Basis: lattice.BasisZ, Noise: code.UniformNoise(base)})
+	if err != nil {
+		return nil, err
+	}
+	nm := noise.NewMap(base)
+	nm.Gate1Q[hot] = base * factor
+	nm.MeasQ[hot] = base * factor
+	nm.ResetQ[hot] = base * factor
+	cHot, err := p.MemoryCircuit(code.MemoryOptions{Rounds: rounds, Basis: lattice.BasisZ, Noise: nm})
+	if err != nil {
+		return nil, err
+	}
+	baseline := charac.DetectorRates(cBase, shots, rng.New(seed+1))
+	observed := charac.DetectorRates(cHot, shots, rng.New(seed+2))
+	owners := charac.DetectorOwners(p, rounds, lattice.BasisZ)
+	ranking := charac.LocalizeDrift(baseline, observed, shots, owners, p.Lat.NumQubits())
+
+	adjacent := map[int]bool{hot: true}
+	for _, nb := range p.Lat.Neighbors(hot) {
+		adjacent[nb] = true
+	}
+	hotPos := -1
+	for i, s := range ranking {
+		if i < 6 {
+			mark := ""
+			if s.Qubit == hot {
+				mark = "HOT"
+			} else if adjacent[s.Qubit] {
+				mark = "adjacent"
+			}
+			rep.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%d", s.Qubit),
+				p.Lat.Qubit(s.Qubit).Role.String(), fmt.Sprintf("%.1f", s.Score), mark)
+		}
+		if s.Qubit == hot && hotPos < 0 {
+			hotPos = i
+		}
+	}
+	rep.SetValue("hot_qubit_rank", float64(hotPos+1))
+	topAdjacent := 0
+	for i := 0; i < 3 && i < len(ranking); i++ {
+		if adjacent[ranking[i].Qubit] {
+			topAdjacent++
+		}
+	}
+	rep.SetValue("top3_in_neighbourhood", float64(topAdjacent))
+	rep.AddNote("extension experiment: runtime drift trigger from the syndrome stream — no characterization downtime needed")
+	return rep, nil
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/deform"
+	"caliqec/internal/lattice"
+	"caliqec/internal/rng"
+	"testing"
+)
+
+// TestScanIsolationCost is a diagnostic (run with -run ScanIsolation -v):
+// it reports the relative LER cost of isolating one interior data qubit of
+// a d=3 code across physical error rates, locating the regime where the
+// cost is small (near threshold), which Fig. 13 relies on.
+func TestScanIsolationCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic scan")
+	}
+	for _, kind := range []lattice.Kind{lattice.Square, lattice.HeavyHex} {
+		ps := []float64{5e-3, 8e-3, 1.2e-2, 1.6e-2, 2.2e-2}
+		if kind == lattice.HeavyHex {
+			ps = []float64{2e-3, 3e-3, 4.5e-3, 6e-3, 8e-3}
+		}
+		for _, p := range ps {
+			mk := func() *code.Patch {
+				if kind == lattice.Square {
+					return code.NewPatch(lattice.NewSquare(3))
+				}
+				return code.NewPatch(lattice.NewHeavyHex(3))
+			}
+			base := mk()
+			cb, err := base.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := decoder.Evaluate(cb, decoder.KindUnionFind, 30000, 3, rng.New(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			iso := mk()
+			d := deform.NewDeformer(iso)
+			if _, err := d.IsolateQubit(iso.Lat.DataID[[2]int{1, 1}], "scan"); err != nil {
+				t.Fatal(err)
+			}
+			ci, err := d.Patch.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ri, err := decoder.Evaluate(ci, decoder.KindUnionFind, 30000, 3, rng.New(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%v p=%.4g: original=%.4g isolated=%.4g (+%.0f%%)",
+				kind, p, rb.LER, ri.LER, 100*(ri.LER/rb.LER-1))
+		}
+	}
+}

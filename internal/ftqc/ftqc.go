@@ -1,0 +1,115 @@
+// Package ftqc models the surface-code FTQC architecture of §2.1: logical
+// patches tiled on a plane with communication channels of width d between
+// them, lattice-surgery operations routed through those channels, magic-
+// state distillation factories, and the resulting physical-qubit and
+// execution-time accounting that drives Table 2.
+package ftqc
+
+import (
+	"caliqec/internal/workload"
+	"math"
+)
+
+// CycleMicros is the QEC cycle time (§7.1: 1 µs, standard in FTQC studies).
+const CycleMicros = 1.0
+
+// Layout describes one qubit-plane floor plan.
+type Layout struct {
+	Logical int // number of logical data patches
+	D       int // code distance
+	// Channel is the interspace (communication channel width) between
+	// patches in data-qubit units. The baseline architecture uses D (§2.1);
+	// CaliQEC adds Δd headroom (§7.3); LSC doubles the layout in both
+	// dimensions (§7.3).
+	Channel int
+}
+
+// BaselineLayout is the no-calibration floor plan: channel width d.
+func BaselineLayout(logical, d int) Layout {
+	return Layout{Logical: logical, D: d, Channel: d}
+}
+
+// CaliQECLayout adds Δd interspace for dynamic code enlargement during
+// calibration.
+func CaliQECLayout(logical, d, deltaD int) Layout {
+	return Layout{Logical: logical, D: d, Channel: d + deltaD}
+}
+
+// CaliQECSharedLayout models §8.2.1's optimization: compensation qubits
+// are only needed while a patch is actually enlarged, so adjacent patches
+// share their Δd interspace headroom through the flexible layout scheme —
+// each patch border carries Δd/2 of extra width instead of Δd ("this
+// sharing reduces the net qubit overhead to 6%", vs 14% unshared).
+func CaliQECSharedLayout(logical, d, deltaD int) Layout {
+	return Layout{Logical: logical, D: d, Channel: d + (deltaD+1)/2}
+}
+
+// LSCLayout expands the communication channels in both dimensions so
+// logical states can be parked during coarse-grained calibration,
+// approximately quadrupling the footprint (§7.3).
+func LSCLayout(logical, d int) Layout {
+	// Pitch doubles: (d + channel) → 2·(d + d) ⇒ channel = 3d.
+	return Layout{Logical: logical, D: d, Channel: 3 * d}
+}
+
+// PhysicalQubits returns the total physical qubit count of the floor plan:
+// each logical patch owns a (D+Channel)² site footprint (its own D² data
+// sites plus its share of syndrome qubits and routing channels), at two
+// physical qubits per site (data + measurement ancillas). The constant
+// matches the paper's Table 2 within ~10% across all benchmarks (e.g.
+// Hubbard-10-10 at d=25: model 1.0e6 vs paper 9.81e5).
+func (l Layout) PhysicalQubits() float64 {
+	pitch := float64(l.D + l.Channel)
+	return float64(l.Logical) * 2 * pitch * pitch
+}
+
+// QubitOverhead returns the relative qubit overhead versus a baseline
+// layout at the same distance.
+func (l Layout) QubitOverhead(base Layout) float64 {
+	return l.PhysicalQubits()/base.PhysicalQubits() - 1
+}
+
+// ExecTimeHours estimates program wall-clock time: every logical operation
+// (lattice-surgery CX or T-state consumption) occupies d QEC cycles, and
+// the program sustains prog.Parallelism concurrent operations.
+func ExecTimeHours(prog workload.Program, d int) float64 {
+	cycles := prog.LogicalOps() * float64(d) / prog.Parallelism
+	return cycles * CycleMicros * 1e-6 / 3600
+}
+
+// TotalCycles returns the number of QEC cycles the computation spans.
+func TotalCycles(prog workload.Program, d int) float64 {
+	return ExecTimeHours(prog, d) * 3600 * 1e6 / CycleMicros
+}
+
+// TFactory models a 15-to-1 magic-state distillation factory (§7.1 uses
+// magic state distillation for logical T gates, per Fowler–Gidney).
+type TFactory struct {
+	D int
+}
+
+// Qubits returns the factory footprint: 2·(3d)² sites ≈ 11 tiles of the
+// Fowler–Gidney compact layout.
+func (f TFactory) Qubits() float64 {
+	return 2 * 9 * float64(f.D*f.D)
+}
+
+// CyclesPerState returns the distillation latency in QEC cycles (≈ 10d).
+func (f TFactory) CyclesPerState() float64 { return 10 * float64(f.D) }
+
+// FactoriesFor returns the factory count needed to supply the program's T
+// states without stalling: rate matching against the program's T-consumption
+// rate.
+func FactoriesFor(prog workload.Program, d int) int {
+	cycles := TotalCycles(prog, d)
+	if cycles == 0 {
+		return 0
+	}
+	tRate := prog.T / cycles // states consumed per cycle
+	f := TFactory{D: d}
+	need := int(math.Ceil(tRate * f.CyclesPerState()))
+	if need < 1 {
+		need = 1
+	}
+	return need
+}

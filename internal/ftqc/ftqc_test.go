@@ -1,0 +1,128 @@
+package ftqc
+
+import (
+	"caliqec/internal/rng"
+	"caliqec/internal/workload"
+	"math"
+	"testing"
+)
+
+func TestLayoutQubitCounts(t *testing.T) {
+	base := BaselineLayout(200, 25)
+	if got := base.PhysicalQubits(); math.Abs(got-1e6) > 5e4 {
+		t.Errorf("baseline 200@d=25: %.3g qubits, want ≈1e6 (paper 9.81e5)", got)
+	}
+	lsc := LSCLayout(200, 25)
+	if r := lsc.PhysicalQubits() / base.PhysicalQubits(); math.Abs(r-4) > 0.01 {
+		t.Errorf("LSC ratio %.2f, want 4 (doubled pitch)", r)
+	}
+	cq := CaliQECLayout(200, 25, 4)
+	over := cq.QubitOverhead(base)
+	if over < 0.1 || over > 0.25 {
+		t.Errorf("CaliQEC overhead %.3f, want 10-25%% (paper: 12-15%%/24%%)", over)
+	}
+}
+
+func TestExecTimeMatchesFit(t *testing.T) {
+	// By construction of the fitted Parallelism, Hubbard-10-10 at d=25 is
+	// ≈5.29 h.
+	h := ExecTimeHours(workload.Hubbard(10, 10), 25)
+	if math.Abs(h-5.29)/5.29 > 0.05 {
+		t.Errorf("exec %.3fh, want ≈5.29h", h)
+	}
+	if TotalCycles(workload.Hubbard(10, 10), 25) < 1e10 {
+		t.Error("cycle count implausibly low")
+	}
+}
+
+func TestTFactory(t *testing.T) {
+	f := TFactory{D: 25}
+	if f.Qubits() != 2*9*625 {
+		t.Errorf("factory qubits %.0f", f.Qubits())
+	}
+	if f.CyclesPerState() != 250 {
+		t.Errorf("cycles per state %.0f", f.CyclesPerState())
+	}
+	n := FactoriesFor(workload.Grover(100), 41)
+	if n < 1 {
+		t.Errorf("factories %d", n)
+	}
+}
+
+func TestRoutingAllOpsComplete(t *testing.T) {
+	a := NewArch(25, 11)
+	r := rng.New(5)
+	ops := a.RandomOps(200, r)
+	res := a.Route(ops)
+	if res.Ops != 200 {
+		t.Errorf("routed %d ops", res.Ops)
+	}
+	if res.Windows < 1 || res.Windows > 200 {
+		t.Errorf("windows %d out of range", res.Windows)
+	}
+	if res.MeanParallelism < 1 {
+		t.Errorf("parallelism %.2f < 1", res.MeanParallelism)
+	}
+}
+
+func TestRoutingConflictsSerialize(t *testing.T) {
+	// Many ops sharing one patch must serialize: patch 0 appears in every
+	// op, so parallelism collapses toward ~1-2.
+	a := NewArch(16, 11)
+	var ops []SurgeryOp
+	for i := 1; i < 13; i++ {
+		ops = append(ops, SurgeryOp{A: 0, B: i})
+	}
+	res := a.Route(ops)
+	if res.Windows < 3 {
+		t.Errorf("hub-contended ops finished in %d windows; expected serialization", res.Windows)
+	}
+}
+
+func TestRoutingParallelismGrowsWithFabric(t *testing.T) {
+	r := rng.New(9)
+	small := NewArch(9, 11)
+	big := NewArch(81, 11)
+	ps := small.Route(small.RandomOps(100, r)).MeanParallelism
+	pb := big.Route(big.RandomOps(100, rng.New(9))).MeanParallelism
+	if pb <= ps {
+		t.Errorf("parallelism should grow with fabric: small=%.2f big=%.2f", ps, pb)
+	}
+}
+
+func TestArchGeometry(t *testing.T) {
+	a := NewArch(10, 5)
+	if a.PatchRows*a.PatchCols < 10 {
+		t.Error("grid too small for patches")
+	}
+	// Distinct patches get distinct tiles.
+	seen := map[[2]int]bool{}
+	for i := 0; i < a.Logical; i++ {
+		tl := a.patchTile(i)
+		if seen[tl] {
+			t.Errorf("patch tile collision at %v", tl)
+		}
+		seen[tl] = true
+		if tl[0]%2 == 0 || tl[1]%2 == 0 {
+			t.Errorf("patch %d on a channel tile %v", i, tl)
+		}
+	}
+}
+
+// TestSharedCompensationHalvesOverhead reproduces §8.2.1's accounting: the
+// unshared Δd headroom costs ~2·Δd/(2d) relative qubits, sharing it across
+// adjacent patches roughly halves that (paper: 14% → 6% at their d).
+func TestSharedCompensationHalvesOverhead(t *testing.T) {
+	base := BaselineLayout(200, 25)
+	full := CaliQECLayout(200, 25, 4)
+	shared := CaliQECSharedLayout(200, 25, 4)
+	fo := full.QubitOverhead(base)
+	so := shared.QubitOverhead(base)
+	if so >= fo {
+		t.Fatalf("shared overhead %.3f not below unshared %.3f", so, fo)
+	}
+	ratio := so / fo
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("sharing reduced overhead to %.2f of unshared, want ≈0.5 (paper 6%%/14%%)", ratio)
+	}
+}

@@ -1,0 +1,154 @@
+package ftqc
+
+import (
+	"caliqec/internal/rng"
+	"fmt"
+)
+
+// Arch is a tile-level model of the lattice-surgery plane: logical patches
+// sit on a grid with channel tiles between and around them (§2.1, Fig. 3e).
+// Lattice-surgery CNOTs claim an edge-disjoint channel path between their
+// two patches for one surgery window (d QEC cycles); the router packs
+// pending operations into windows, which is how the paper's evaluation
+// ("a custom simulator based on the path finding process of lattice
+// surgery", artifact §A.5) derives program execution schedules.
+type Arch struct {
+	PatchRows, PatchCols int // patch grid dimensions
+	Logical              int
+	D                    int
+	// tile grid dimensions: patches at odd (2r+1, 2c+1), channels elsewhere.
+	tileRows, tileCols int
+}
+
+// NewArch lays out `logical` patches in a near-square grid at distance d.
+func NewArch(logical, d int) *Arch {
+	if logical < 1 {
+		panic("ftqc: need ≥ 1 logical patch")
+	}
+	cols := 1
+	for cols*cols < logical {
+		cols++
+	}
+	rows := (logical + cols - 1) / cols
+	return &Arch{
+		PatchRows: rows, PatchCols: cols, Logical: logical, D: d,
+		tileRows: 2*rows + 1, tileCols: 2*cols + 1,
+	}
+}
+
+// patchTile returns the tile coordinates of logical patch i.
+func (a *Arch) patchTile(i int) [2]int {
+	r, c := i/a.PatchCols, i%a.PatchCols
+	return [2]int{2*r + 1, 2*c + 1}
+}
+
+// SurgeryOp is one pending lattice-surgery operation between two logical
+// patches (control, target).
+type SurgeryOp struct{ A, B int }
+
+// RouteResult summarizes routing a stream of surgery operations.
+type RouteResult struct {
+	Ops     int
+	Windows int // surgery windows used; wall time = Windows · D cycles
+	// MeanParallelism is Ops / Windows.
+	MeanParallelism float64
+}
+
+// Route packs the given operations into surgery windows using greedy
+// edge-disjoint path allocation (cf. the edge-disjoint-paths compilation of
+// Beverland et al., the paper's reference [8]): within a window, an
+// operation succeeds if a channel-tile path between its patches avoids all
+// tiles claimed earlier in that window.
+func (a *Arch) Route(ops []SurgeryOp) RouteResult {
+	pending := append([]SurgeryOp(nil), ops...)
+	windows := 0
+	for len(pending) > 0 {
+		windows++
+		claimed := map[[2]int]bool{}
+		var next []SurgeryOp
+		for _, op := range pending {
+			path := a.findPath(op, claimed)
+			if path == nil {
+				next = append(next, op)
+				continue
+			}
+			for _, t := range path {
+				claimed[t] = true
+			}
+		}
+		if len(next) == len(pending) {
+			// No progress: should be impossible on a connected channel
+			// grid with an empty claim set, but guard against livelock.
+			panic(fmt.Sprintf("ftqc: routing livelock with %d ops pending", len(pending)))
+		}
+		pending = next
+	}
+	res := RouteResult{Ops: len(ops), Windows: windows}
+	if windows > 0 {
+		res.MeanParallelism = float64(len(ops)) / float64(windows)
+	}
+	return res
+}
+
+// findPath BFS-routes between the channel tiles adjacent to the two
+// patches, avoiding claimed tiles; it returns the claimed tile set or nil.
+func (a *Arch) findPath(op SurgeryOp, claimed map[[2]int]bool) [][2]int {
+	src, dst := a.patchTile(op.A), a.patchTile(op.B)
+	isChannel := func(t [2]int) bool {
+		if t[0] < 0 || t[0] >= a.tileRows || t[1] < 0 || t[1] >= a.tileCols {
+			return false
+		}
+		return t[0]%2 == 0 || t[1]%2 == 0 // non-patch tiles are channel
+	}
+	type node struct {
+		t    [2]int
+		prev *node
+	}
+	var queue []*node
+	visited := map[[2]int]bool{}
+	dirs := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	for _, d := range dirs {
+		t := [2]int{src[0] + d[0], src[1] + d[1]}
+		if isChannel(t) && !claimed[t] && !visited[t] {
+			visited[t] = true
+			queue = append(queue, &node{t: t})
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		// Adjacent to the destination patch?
+		for _, d := range dirs {
+			if [2]int{n.t[0] + d[0], n.t[1] + d[1]} == dst {
+				var path [][2]int
+				for x := n; x != nil; x = x.prev {
+					path = append(path, x.t)
+				}
+				return path
+			}
+		}
+		for _, d := range dirs {
+			t := [2]int{n.t[0] + d[0], n.t[1] + d[1]}
+			if isChannel(t) && !claimed[t] && !visited[t] {
+				visited[t] = true
+				queue = append(queue, &node{t: t, prev: n})
+			}
+		}
+	}
+	return nil
+}
+
+// RandomOps draws n surgery operations between uniformly random distinct
+// patches, a synthetic stand-in for a compiled program's CNOT stream.
+func (a *Arch) RandomOps(n int, r *rng.RNG) []SurgeryOp {
+	ops := make([]SurgeryOp, n)
+	for i := range ops {
+		x := r.Intn(a.Logical)
+		y := r.Intn(a.Logical)
+		for y == x {
+			y = r.Intn(a.Logical)
+		}
+		ops[i] = SurgeryOp{A: x, B: y}
+	}
+	return ops
+}

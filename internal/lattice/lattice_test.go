@@ -1,0 +1,186 @@
+package lattice
+
+import "testing"
+
+func TestSquareCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		l := NewSquare(d)
+		if l.NumData() != d*d {
+			t.Errorf("d=%d: %d data qubits, want %d", d, l.NumData(), d*d)
+		}
+		if len(l.Plaquettes) != d*d-1 {
+			t.Errorf("d=%d: %d plaquettes, want %d", d, len(l.Plaquettes), d*d-1)
+		}
+		if l.NumQubits() != d*d+(d*d-1) {
+			t.Errorf("d=%d: %d qubits total", d, l.NumQubits())
+		}
+		nx, nz := 0, 0
+		for _, p := range l.Plaquettes {
+			if p.Basis == BasisX {
+				nx++
+			} else {
+				nz++
+			}
+			if w := p.Weight(); w != 2 && w != 4 {
+				t.Errorf("d=%d: plaquette weight %d", d, w)
+			}
+		}
+		if nx != nz {
+			t.Errorf("d=%d: %d X vs %d Z plaquettes", d, nx, nz)
+		}
+	}
+}
+
+func TestSquareStabilizerOverlaps(t *testing.T) {
+	// Any two plaquettes of opposite basis must share an even number of
+	// data qubits (0 or 2): the CSS commutation condition in geometry form.
+	l := NewSquare(5)
+	for i := range l.Plaquettes {
+		for j := i + 1; j < len(l.Plaquettes); j++ {
+			a, b := &l.Plaquettes[i], &l.Plaquettes[j]
+			if a.Basis == b.Basis {
+				continue
+			}
+			shared := 0
+			for _, qa := range a.Data {
+				for _, qb := range b.Data {
+					if qa == qb {
+						shared++
+					}
+				}
+			}
+			if shared%2 != 0 {
+				t.Errorf("plaquettes %d,%d share %d qubits", i, j, shared)
+			}
+		}
+	}
+}
+
+func TestHeavyHexRoles(t *testing.T) {
+	l := NewHeavyHex(5)
+	// Every degree-3 bridge ancilla attaches exactly one data qubit and
+	// has ≤ 3 coupling neighbours; degree-2 ancillas have exactly 2.
+	for _, q := range l.Qubits {
+		n := len(l.Neighbors(q.ID))
+		switch q.Role {
+		case RoleBridgeDeg3:
+			if n < 2 || n > 3 {
+				t.Errorf("deg-3 ancilla %d has %d neighbours", q.ID, n)
+			}
+			dataN := 0
+			for _, nb := range l.Neighbors(q.ID) {
+				if l.Qubit(nb).Role == RoleData {
+					dataN++
+				}
+			}
+			if dataN != 1 {
+				t.Errorf("deg-3 ancilla %d touches %d data qubits, want 1", q.ID, dataN)
+			}
+		case RoleBridgeDeg2Ver, RoleBridgeDeg2Hor:
+			if n != 2 {
+				t.Errorf("deg-2 ancilla %d (%v) has %d neighbours", q.ID, q.Role, n)
+			}
+			for _, nb := range l.Neighbors(q.ID) {
+				if l.Qubit(nb).Role == RoleData {
+					t.Errorf("deg-2 ancilla %d couples directly to data", q.ID)
+				}
+			}
+		case RoleData:
+			// Data qubits couple only to degree-3 ancillas on heavy hex.
+			for _, nb := range l.Neighbors(q.ID) {
+				if l.Qubit(nb).Role != RoleBridgeDeg3 {
+					t.Errorf("data %d couples to %v", q.ID, l.Qubit(nb).Role)
+				}
+			}
+		}
+	}
+}
+
+func TestHeavyHexSharedSegments(t *testing.T) {
+	// Interior full bridges are 7 ancillas; vertically adjacent plaquettes
+	// share their 3-ancilla edge segment.
+	l := NewHeavyHex(5)
+	countShared := 0
+	for i := range l.Plaquettes {
+		for j := i + 1; j < len(l.Plaquettes); j++ {
+			a, b := &l.Plaquettes[i], &l.Plaquettes[j]
+			shared := 0
+			for _, qa := range a.Bridge {
+				for _, qb := range b.Bridge {
+					if qa == qb {
+						shared++
+					}
+				}
+			}
+			if shared > 0 {
+				if shared != 3 {
+					t.Errorf("plaquettes %d,%d share %d bridge ancillas, want 3 (one segment)", i, j, shared)
+				}
+				if a.Basis == b.Basis {
+					t.Errorf("same-basis plaquettes %d,%d share a segment", i, j)
+				}
+				countShared++
+			}
+		}
+	}
+	if countShared == 0 {
+		t.Error("no shared segments found")
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	l := NewSquareRect(5, 9)
+	if l.Rows != 5 || l.Cols != 9 || l.D() != 5 {
+		t.Errorf("rect dims wrong: %d×%d D=%d", l.Rows, l.Cols, l.D())
+	}
+	if l.NumData() != 45 {
+		t.Errorf("%d data qubits", l.NumData())
+	}
+	if len(l.Plaquettes) != 5*9-1 {
+		t.Errorf("%d plaquettes, want 44", len(l.Plaquettes))
+	}
+}
+
+func TestInvalidDims(t *testing.T) {
+	for _, bad := range [][2]int{{2, 3}, {3, 4}, {1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("dims %v should panic", bad)
+				}
+			}()
+			NewSquareRect(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestPlaquettesWithData(t *testing.T) {
+	l := NewSquare(5)
+	// An interior data qubit belongs to exactly 2 X and 2 Z plaquettes.
+	q := l.DataID[[2]int{2, 2}]
+	if n := len(l.PlaquettesWithData(q, BasisX)); n != 2 {
+		t.Errorf("interior qubit in %d X plaquettes", n)
+	}
+	if n := len(l.PlaquettesWithData(q, BasisZ)); n != 2 {
+		t.Errorf("interior qubit in %d Z plaquettes", n)
+	}
+	// Corner qubits are in 1+1 or 1+0.
+	c := l.DataID[[2]int{0, 0}]
+	total := len(l.PlaquettesWithData(c, BasisX)) + len(l.PlaquettesWithData(c, BasisZ))
+	if total != 2 {
+		t.Errorf("corner qubit in %d plaquettes, want 2", total)
+	}
+}
+
+func TestCoordinatesUnique(t *testing.T) {
+	for _, l := range []*Lattice{NewSquare(5), NewHeavyHex(5)} {
+		seen := map[[2]int]int{}
+		for _, q := range l.Qubits {
+			key := [2]int{q.Row, q.Col}
+			if prev, ok := seen[key]; ok {
+				t.Errorf("%v: qubits %d and %d share coordinate %v", l.Kind, prev, q.ID, key)
+			}
+			seen[key] = q.ID
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package ler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerCycleKnownValues(t *testing.T) {
+	m := PaperModel()
+	// At p = p_th, LER = α for every distance.
+	for _, d := range []int{3, 11, 25} {
+		if got := m.PerCycle(d, 0.01); math.Abs(got-0.03) > 1e-12 {
+			t.Errorf("d=%d at threshold: %.4g, want α", d, got)
+		}
+	}
+	// One decade below threshold: suppression by 10^((d+1)/2).
+	if got := m.PerCycle(11, 1e-3); math.Abs(got-0.03e-6) > 1e-12 {
+		t.Errorf("d=11 at p_th/10: %.4g, want 3e-8", got)
+	}
+	if m.PerCycle(11, 0) != 0 {
+		t.Error("zero rate should give zero LER")
+	}
+	if m.PerCycle(3, 1) != 1 {
+		t.Error("LER must clamp at 1")
+	}
+}
+
+func TestPTargetRoundTrip(t *testing.T) {
+	m := PaperModel()
+	f := func(seed int64) bool {
+		d := 3 + 2*int(uint64(seed)%20)
+		lerTar := math.Pow(10, -4-float64(uint64(seed)>>32%10))
+		p := m.PTarget(d, lerTar)
+		return math.Abs(math.Log(m.PerCycle(d, p)/lerTar)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitRecoversModel(t *testing.T) {
+	truth := Model{Alpha: 0.021, Pth: 0.0093}
+	var pts []Point
+	for _, d := range []int{3, 5, 7} {
+		for _, p := range []float64{1e-3, 2e-3, 4e-3} {
+			pts = append(pts, Point{D: d, P: p, LER: truth.PerCycle(d, p)})
+		}
+	}
+	m, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha-truth.Alpha)/truth.Alpha > 1e-6 {
+		t.Errorf("α fit %.6g, want %.6g", m.Alpha, truth.Alpha)
+	}
+	if math.Abs(m.Pth-truth.Pth)/truth.Pth > 1e-6 {
+		t.Errorf("p_th fit %.6g, want %.6g", m.Pth, truth.Pth)
+	}
+}
+
+func TestFitRejectsDegenerate(t *testing.T) {
+	if _, err := Fit([]Point{{D: 3, P: 1e-3, LER: 1e-4}}); err == nil {
+		t.Error("single point must not fit")
+	}
+	if _, err := Fit([]Point{{D: 3, P: 1e-3, LER: 1e-4}, {D: 3, P: 2e-3, LER: 1e-3}}); err == nil {
+		t.Error("single-distance points must not fit (need ≥2 distances)")
+	}
+}
+
+func TestRetryRisk(t *testing.T) {
+	// Constant small LER: risk ≈ 1 - (1-l)^cycles.
+	l := 1e-9
+	cycles := 1e7
+	series := []float64{l, l, l, l}
+	got := RetryRisk(series, cycles)
+	want := 1 - math.Pow(1-l, cycles)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("risk %.6g, want %.6g", got, want)
+	}
+	if RetryRisk([]float64{1}, 10) != 1 {
+		t.Error("certain failure must give risk 1")
+	}
+	if RetryRisk(nil, 10) != 0 {
+		t.Error("empty series must give 0")
+	}
+}
+
+func TestRiskFromOps(t *testing.T) {
+	if r := RiskFromOps(1e-12, 1e9); math.Abs(r-1e-3)/1e-3 > 0.01 {
+		t.Errorf("linear regime risk %.4g", r)
+	}
+	if r := RiskFromOps(1e-3, 1e9); r < 0.999999 {
+		t.Errorf("saturating regime risk %.4g", r)
+	}
+	if RiskFromOps(0, 1e9) != 0 {
+		t.Error("zero LER risk")
+	}
+}
+
+func TestTrajectoryShapes(t *testing.T) {
+	m := PaperModel()
+	traj := Trajectory(m, 10, 1,
+		func(t float64) float64 { return 1e-3 * math.Pow(10, t/14) },
+		func(t float64) int { return 11 })
+	if len(traj) != 11 {
+		t.Fatalf("%d points", len(traj))
+	}
+	for i := 1; i < len(traj); i++ {
+		if traj[i].LER <= traj[i-1].LER {
+			t.Errorf("LER not increasing under pure drift at step %d", i)
+		}
+	}
+}

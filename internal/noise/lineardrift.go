@@ -1,0 +1,61 @@
+package noise
+
+// The paper adopts the exponential drift law because it best fits the IBM
+// measurements, but notes (§4) that "this model can be replaced with other
+// models based on specific hardware conditions and determine calibration
+// periods for each gate accordingly, while the scheduling method in Sec. 5
+// remains applicable" — some references (their [4]) report linear drift.
+// Law abstracts what the scheduler actually needs so both families plug in.
+
+// Law is a drift law: an error-rate trajectory after calibration.
+type Law interface {
+	// At returns the error rate dt hours after calibration.
+	At(dt float64) float64
+	// TimeToReach returns the hours until the rate reaches pTar
+	// (0 if already at or above).
+	TimeToReach(pTar float64) float64
+}
+
+// Drift (exponential) implements Law.
+var _ Law = Drift{}
+
+// LinearDrift is the alternative linear drift law p(t) = P0 + Rate·t,
+// clamped to 1.
+type LinearDrift struct {
+	P0   float64 // freshly calibrated error rate
+	Rate float64 // error-rate increase per hour
+}
+
+// At implements Law.
+func (d LinearDrift) At(dt float64) float64 {
+	if dt < 0 {
+		dt = 0
+	}
+	p := d.P0 + d.Rate*dt
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// TimeToReach implements Law.
+func (d LinearDrift) TimeToReach(pTar float64) float64 {
+	if pTar <= d.P0 {
+		return 0
+	}
+	if d.Rate <= 0 {
+		return 1e18 // effectively never
+	}
+	return (pTar - d.P0) / d.Rate
+}
+
+// LinearFromExponential returns the linear law matching an exponential one
+// at the moment it reaches pTar (same deadline, same endpoint rate): useful
+// for comparing schedules across model families.
+func LinearFromExponential(e Drift, pTar float64) LinearDrift {
+	t := e.TimeToReach(pTar)
+	if t <= 0 {
+		return LinearDrift{P0: e.P0, Rate: 0}
+	}
+	return LinearDrift{P0: e.P0, Rate: (pTar - e.P0) / t}
+}

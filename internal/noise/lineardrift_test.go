@@ -1,0 +1,63 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearDriftLaw(t *testing.T) {
+	d := LinearDrift{P0: 1e-3, Rate: 5e-4}
+	if d.At(0) != 1e-3 {
+		t.Error("p(0)")
+	}
+	if math.Abs(d.At(2)-2e-3) > 1e-15 {
+		t.Errorf("p(2h)=%.4g", d.At(2))
+	}
+	if d.At(1e9) != 1 {
+		t.Error("clamp")
+	}
+	if d.At(-5) != 1e-3 {
+		t.Error("negative dt should clamp to p0")
+	}
+	tt := d.TimeToReach(3e-3)
+	if math.Abs(tt-4) > 1e-12 {
+		t.Errorf("TimeToReach=%.3f, want 4h", tt)
+	}
+	if math.Abs(d.At(tt)-3e-3) > 1e-15 {
+		t.Error("At(TimeToReach(p)) != p")
+	}
+	if d.TimeToReach(1e-4) != 0 {
+		t.Error("below p0")
+	}
+	if (LinearDrift{P0: 1e-3, Rate: 0}).TimeToReach(2e-3) < 1e17 {
+		t.Error("zero-rate gate should effectively never drift")
+	}
+}
+
+func TestLinearFromExponential(t *testing.T) {
+	e := Drift{P0: 1e-3, TDrift: 14}
+	pTar := 3e-3
+	l := LinearFromExponential(e, pTar)
+	// Same deadline by construction.
+	if math.Abs(l.TimeToReach(pTar)-e.TimeToReach(pTar)) > 1e-9 {
+		t.Errorf("deadlines differ: %.3f vs %.3f", l.TimeToReach(pTar), e.TimeToReach(pTar))
+	}
+	// Linear sits above exponential before the deadline (concavity).
+	mid := e.TimeToReach(pTar) / 2
+	if l.At(mid) <= e.At(mid) {
+		t.Errorf("linear %.4g not above exponential %.4g at mid-deadline", l.At(mid), e.At(mid))
+	}
+}
+
+// TestLawInterfaceSatisfied pins both families to the Law interface.
+func TestLawInterfaceSatisfied(t *testing.T) {
+	laws := []Law{
+		Drift{P0: 1e-3, TDrift: 10},
+		LinearDrift{P0: 1e-3, Rate: 1e-4},
+	}
+	for _, l := range laws {
+		if l.At(0) <= 0 || l.TimeToReach(5e-3) <= 0 {
+			t.Errorf("law %T misbehaves", l)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package noise
+
+import (
+	"caliqec/internal/rng"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDriftLaw(t *testing.T) {
+	d := Drift{P0: 1e-3, TDrift: 14}
+	if d.At(0) != 1e-3 {
+		t.Error("p(0) != p0")
+	}
+	if math.Abs(d.At(14)-1e-2) > 1e-12 {
+		t.Errorf("p(T) = %.4g, want one decade", d.At(14))
+	}
+	if d.At(1e6) != 1 {
+		t.Error("drift must clamp at 1")
+	}
+}
+
+func TestTimeToReachInvertsAt(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(uint64(seed))
+		d := Drift{P0: 1e-4 + r.Float64()*1e-3, TDrift: 1 + r.Float64()*40}
+		target := d.P0 * (1 + r.Float64()*50)
+		tt := d.TimeToReach(target)
+		return math.Abs(d.At(tt)-target) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeToReachBelow(t *testing.T) {
+	d := Drift{P0: 1e-3, TDrift: 10}
+	if d.TimeToReach(1e-4) != 0 {
+		t.Error("target below p0 should be 0 (already reached)")
+	}
+}
+
+func TestModels(t *testing.T) {
+	cur, fut := CurrentModel(), FutureModel()
+	if cur.MeanHours != 14.08 {
+		t.Errorf("current mean %.2f", cur.MeanHours)
+	}
+	if fut.MeanHours != 28.016 {
+		t.Errorf("future mean %.3f", fut.MeanHours)
+	}
+	r := rng.New(1)
+	var xs []float64
+	for i := 0; i < 50000; i++ {
+		xs = append(xs, fut.SampleTDrift(r))
+	}
+	if m := rng.Mean(xs); math.Abs(m-28.016) > 0.6 {
+		t.Errorf("future sample mean %.2f", m)
+	}
+}
+
+func TestMapFallbacks(t *testing.T) {
+	m := NewMap(1e-3)
+	if m.Gate1(7) != 1e-3 || m.Gate2(1, 2) != 1e-3 || m.Meas(0) != 1e-3 || m.Reset(0) != 1e-3 {
+		t.Error("defaults not applied")
+	}
+	m.Gate1Q[7] = 5e-3
+	m.SetGate2(2, 1, 7e-3) // stored unordered
+	if m.Gate1(7) != 5e-3 {
+		t.Error("override lost")
+	}
+	if m.Gate2(1, 2) != 7e-3 || m.Gate2(2, 1) != 7e-3 {
+		t.Error("pair must be unordered")
+	}
+}
+
+func TestMeanError(t *testing.T) {
+	m := NewMap(1e-3)
+	if m.MeanError() != 1e-3 {
+		t.Error("empty map mean should be default")
+	}
+	m.Gate1Q[0] = 2e-3
+	m.Gate1Q[1] = 4e-3
+	if math.Abs(m.MeanError()-3e-3) > 1e-15 {
+		t.Errorf("mean %.4g", m.MeanError())
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if InitialErrorRate != Threshold/10 {
+		t.Error("initial rate should be 10x below threshold (§7.2)")
+	}
+}

@@ -1,0 +1,233 @@
+// Package pauli implements single-qubit Pauli operators and sparse n-qubit
+// Pauli strings, with the commutation and multiplication rules the surface
+// code machinery relies on.
+//
+// Phases are deliberately dropped: for CSS-code error correction only the
+// X/Z support of operators matters (syndromes are parities, logical failure
+// is membership in a coset), so every operator here lives in the quotient
+// Pauli group P_n / {±1, ±i}.
+package pauli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pauli is a single-qubit Pauli operator without phase.
+type Pauli uint8
+
+// The four single-qubit Paulis. The encoding is two bits (x, z): I=00,
+// X=10, Z=01, Y=11, so multiplication is XOR of the bit pairs.
+const (
+	I Pauli = 0b00
+	X Pauli = 0b10
+	Z Pauli = 0b01
+	Y Pauli = 0b11
+)
+
+// HasX reports whether the operator has an X component (X or Y).
+func (p Pauli) HasX() bool { return p&X != 0 }
+
+// HasZ reports whether the operator has a Z component (Z or Y).
+func (p Pauli) HasZ() bool { return p&Z != 0 }
+
+// Mul returns the phaseless product p·q.
+func (p Pauli) Mul(q Pauli) Pauli { return p ^ q }
+
+// Commutes reports whether p and q commute as single-qubit operators.
+func (p Pauli) Commutes(q Pauli) bool {
+	// Two Paulis anticommute iff both are non-identity and differ.
+	ax, az := p.HasX(), p.HasZ()
+	bx, bz := q.HasX(), q.HasZ()
+	// Symplectic product: ax·bz + az·bx (mod 2).
+	s := 0
+	if ax && bz {
+		s ^= 1
+	}
+	if az && bx {
+		s ^= 1
+	}
+	return s == 0
+}
+
+// String returns "I", "X", "Y" or "Z".
+func (p Pauli) String() string {
+	switch p {
+	case I:
+		return "I"
+	case X:
+		return "X"
+	case Y:
+		return "Y"
+	case Z:
+		return "Z"
+	}
+	return fmt.Sprintf("Pauli(%d)", uint8(p))
+}
+
+// ParsePauli converts a byte ('I', 'X', 'Y', 'Z', case-insensitive).
+func ParsePauli(b byte) (Pauli, error) {
+	switch b {
+	case 'I', 'i':
+		return I, nil
+	case 'X', 'x':
+		return X, nil
+	case 'Y', 'y':
+		return Y, nil
+	case 'Z', 'z':
+		return Z, nil
+	}
+	return I, fmt.Errorf("pauli: invalid Pauli letter %q", b)
+}
+
+// String is a sparse n-qubit Pauli string: a map from qubit index to its
+// non-identity single-qubit Pauli. The zero value is the identity.
+type String struct {
+	ops map[int]Pauli
+}
+
+// NewString returns the identity Pauli string.
+func NewString() *String { return &String{ops: map[int]Pauli{}} }
+
+// FromSupport builds a uniform string (e.g. all-X) over the given qubits.
+// Duplicate qubits multiply together (so a repeated qubit cancels to I).
+func FromSupport(p Pauli, qubits ...int) *String {
+	s := NewString()
+	for _, q := range qubits {
+		s.MulAt(q, p)
+	}
+	return s
+}
+
+// Parse builds a string from the textual form "X0 Z3 Y17" (whitespace
+// separated letter+index tokens).
+func Parse(text string) (*String, error) {
+	s := NewString()
+	for _, tok := range strings.Fields(text) {
+		if len(tok) < 2 {
+			return nil, fmt.Errorf("pauli: bad token %q", tok)
+		}
+		p, err := ParsePauli(tok[0])
+		if err != nil {
+			return nil, err
+		}
+		var q int
+		if _, err := fmt.Sscanf(tok[1:], "%d", &q); err != nil {
+			return nil, fmt.Errorf("pauli: bad qubit index in %q", tok)
+		}
+		s.MulAt(q, p)
+	}
+	return s, nil
+}
+
+// At returns the single-qubit Pauli acting on qubit q.
+func (s *String) At(q int) Pauli {
+	if s.ops == nil {
+		return I
+	}
+	return s.ops[q]
+}
+
+// MulAt multiplies p into the operator on qubit q (in place).
+func (s *String) MulAt(q int, p Pauli) {
+	if s.ops == nil {
+		s.ops = map[int]Pauli{}
+	}
+	r := s.ops[q].Mul(p)
+	if r == I {
+		delete(s.ops, q)
+	} else {
+		s.ops[q] = r
+	}
+}
+
+// Mul multiplies o into s (in place) and returns s.
+func (s *String) Mul(o *String) *String {
+	for q, p := range o.ops {
+		s.MulAt(q, p)
+	}
+	return s
+}
+
+// Commutes reports whether the two strings commute, via the symplectic
+// parity of overlapping anticommuting sites.
+func (s *String) Commutes(o *String) bool {
+	anti := 0
+	for q, p := range s.ops {
+		if op, ok := o.ops[q]; ok && !p.Commutes(op) {
+			anti ^= 1
+		}
+	}
+	return anti == 0
+}
+
+// Weight returns the number of qubits acted on non-trivially.
+func (s *String) Weight() int { return len(s.ops) }
+
+// IsIdentity reports whether the string is the identity operator.
+func (s *String) IsIdentity() bool { return len(s.ops) == 0 }
+
+// Support returns the sorted list of qubits acted on non-trivially.
+func (s *String) Support() []int {
+	out := make([]int, 0, len(s.ops))
+	for q := range s.ops {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsCSS reports whether the string is purely X-type or purely Z-type, and
+// which. The surface code machinery only manipulates CSS operators.
+func (s *String) IsCSS() (pureX, pureZ bool) {
+	pureX, pureZ = true, true
+	for _, p := range s.ops {
+		if p != X {
+			pureX = false
+		}
+		if p != Z {
+			pureZ = false
+		}
+	}
+	if len(s.ops) == 0 {
+		return true, true
+	}
+	return
+}
+
+// Clone returns a deep copy.
+func (s *String) Clone() *String {
+	c := NewString()
+	for q, p := range s.ops {
+		c.ops[q] = p
+	}
+	return c
+}
+
+// Equal reports operator equality (same support, same letters).
+func (s *String) Equal(o *String) bool {
+	if len(s.ops) != len(o.ops) {
+		return false
+	}
+	for q, p := range s.ops {
+		if o.ops[q] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the operator as "X0 Z3 Y17" with qubits in increasing
+// order, or "I" for the identity.
+func (s *String) String() string {
+	if s.IsIdentity() {
+		return "I"
+	}
+	qs := s.Support()
+	parts := make([]string, len(qs))
+	for i, q := range qs {
+		parts[i] = fmt.Sprintf("%s%d", s.ops[q], q)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,164 @@
+package pauli
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleQubitTable(t *testing.T) {
+	// Multiplication table (phaseless).
+	cases := []struct{ a, b, want Pauli }{
+		{I, I, I}, {I, X, X}, {X, X, I}, {X, Z, Y}, {Z, X, Y},
+		{Y, Y, I}, {X, Y, Z}, {Y, Z, X}, {Z, Z, I}, {Z, Y, X},
+	}
+	for _, c := range cases {
+		if got := c.a.Mul(c.b); got != c.want {
+			t.Errorf("%v*%v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSingleQubitCommutation(t *testing.T) {
+	all := []Pauli{I, X, Y, Z}
+	for _, a := range all {
+		for _, b := range all {
+			want := a == I || b == I || a == b
+			if got := a.Commutes(b); got != want {
+				t.Errorf("%v,%v commute=%v want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestParsePauli(t *testing.T) {
+	for _, c := range []struct {
+		in   byte
+		want Pauli
+	}{{'I', I}, {'x', X}, {'Y', Y}, {'z', Z}} {
+		got, err := ParsePauli(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePauli(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParsePauli('Q'); err == nil {
+		t.Error("ParsePauli('Q') should fail")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	s, err := Parse("X0 Z3 Y17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "X0 Z3 Y17" {
+		t.Errorf("round trip gave %q", s.String())
+	}
+	if s.Weight() != 3 {
+		t.Errorf("weight %d, want 3", s.Weight())
+	}
+	// Duplicate qubits multiply: X0 X0 = I.
+	s2, err := Parse("X0 X0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.IsIdentity() {
+		t.Errorf("X0·X0 = %v, want I", s2)
+	}
+	// X0 Z0 = Y0.
+	s3, _ := Parse("X0 Z0")
+	if s3.At(0) != Y {
+		t.Errorf("X0·Z0 = %v, want Y0", s3)
+	}
+}
+
+// randString builds a pseudo-random Pauli string from a seed.
+func randString(seed int64, n int) *String {
+	s := NewString()
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		q := int(x % 23)
+		p := Pauli(x >> 32 & 3)
+		s.MulAt(q, p)
+	}
+	return s
+}
+
+// Property: commutation is symmetric.
+func TestCommutesSymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		s1, s2 := randString(a, 8), randString(b, 8)
+		return s1.Commutes(s2) == s2.Commutes(s1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the symplectic form is bilinear — commutation phase of a
+// product: comm(ab, c) = comm(a,c) XOR comm(b,c).
+func TestCommutesBilinear(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		sa, sb, sc := randString(a, 6), randString(b, 6), randString(c, 6)
+		prod := sa.Clone().Mul(sb)
+		anti := func(x, y *String) bool { return !x.Commutes(y) }
+		return anti(prod, sc) == (anti(sa, sc) != anti(sb, sc))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplication is an involution on the phaseless group: s·s = I.
+func TestSelfInverse(t *testing.T) {
+	f := func(a int64) bool {
+		s := randString(a, 10)
+		return s.Clone().Mul(s).IsIdentity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every string commutes with itself and with the identity.
+func TestCommutesSelfAndIdentity(t *testing.T) {
+	f := func(a int64) bool {
+		s := randString(a, 10)
+		return s.Commutes(s) && s.Commutes(NewString())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSupportCancels(t *testing.T) {
+	s := FromSupport(X, 1, 2, 1) // qubit 1 twice → cancels
+	if s.At(1) != I || s.At(2) != X {
+		t.Errorf("FromSupport dedupe wrong: %v", s)
+	}
+}
+
+func TestIsCSS(t *testing.T) {
+	sx, _ := Parse("X1 X5")
+	if px, _ := sx.IsCSS(); !px {
+		t.Error("X1X5 should be pure X")
+	}
+	sy, _ := Parse("X1 Z5")
+	if px, pz := sy.IsCSS(); px || pz {
+		t.Error("X1Z5 is neither pure X nor pure Z")
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	s := randString(42, 12)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.MulAt(0, X)
+	if s.Equal(c) && s.At(0) == c.At(0) {
+		t.Error("clone aliases original")
+	}
+}

@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"caliqec/internal/workload"
+	"testing"
+)
+
+// TestTable2Shape runs the three strategies on Hubbard-10-10 at d=25 and
+// asserts the qualitative Table 2 orderings:
+//   - NoCal: fewest qubits, base time, retry risk ≈ 100%;
+//   - LSC: ~4-5× qubits, longer time, risk near target;
+//   - CaliQEC: modest qubit overhead, base time, risk below LSC.
+func TestTable2Shape(t *testing.T) {
+	cfg := Config{
+		Prog:        workload.Hubbard(10, 10),
+		D:           25,
+		RetryTarget: 0.01,
+		Seed:        7,
+	}
+	noCal, err := Run(cfg, StrategyNoCal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsc, err := Run(cfg, StrategyLSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := Run(cfg, StrategyCaliQEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("no-cal : %v", noCal)
+	t.Logf("LSC    : %v", lsc)
+	t.Logf("CaliQEC: %v", cq)
+	t.Logf("p_tar=%.4g", cq.PTar)
+
+	if noCal.RetryRisk < 0.95 {
+		t.Errorf("no-calibration retry risk %.3g, want ≈ 100%%", noCal.RetryRisk)
+	}
+	if cq.RetryRisk > 0.25 {
+		t.Errorf("CaliQEC retry risk %.3g, want near the 1%% target", cq.RetryRisk)
+	}
+	if cq.RetryRisk >= lsc.RetryRisk {
+		t.Errorf("CaliQEC risk %.3g ≥ LSC risk %.3g, want lower", cq.RetryRisk, lsc.RetryRisk)
+	}
+	ratioLSC := lsc.PhysicalQubits / noCal.PhysicalQubits
+	if ratioLSC < 3 || ratioLSC > 6 {
+		t.Errorf("LSC qubit ratio %.2f, want ≈ 4×", ratioLSC)
+	}
+	ratioCQ := cq.PhysicalQubits / noCal.PhysicalQubits
+	if ratioCQ < 1.05 || ratioCQ > 1.6 {
+		t.Errorf("CaliQEC qubit ratio %.2f, want modest (~1.1-1.4×)", ratioCQ)
+	}
+	if lsc.ExecHours <= noCal.ExecHours {
+		t.Errorf("LSC time %.3g ≤ base %.3g, want overhead", lsc.ExecHours, noCal.ExecHours)
+	}
+	if cq.ExecHours != noCal.ExecHours {
+		t.Errorf("CaliQEC time %.3g != base %.3g, want no overhead", cq.ExecHours, noCal.ExecHours)
+	}
+	if cq.Calibrations <= 0 {
+		t.Error("CaliQEC performed no calibrations")
+	}
+}
+
+// TestExecTimeNearPaper checks the fitted execution-time model against the
+// paper's Table 2 values (±15%).
+func TestExecTimeNearPaper(t *testing.T) {
+	cases := []struct {
+		prog  workload.Program
+		d     int
+		hours float64
+	}{
+		{workload.Hubbard(10, 10), 25, 5.29},
+		{workload.Hubbard(20, 20), 29, 91.3},
+		{workload.Jellium(250), 39, 177},
+		{workload.Jellium(1024), 45, 1870},
+		{workload.Grover(100), 41, 220},
+	}
+	for _, c := range cases {
+		cfg := Config{Prog: c.prog, D: c.d, RetryTarget: 0.01, Seed: 1}
+		r, err := Run(cfg, StrategyNoCal)
+		if err != nil {
+			t.Fatalf("%s: %v", c.prog.Name, err)
+		}
+		ratio := r.ExecHours / c.hours
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s d=%d: exec %.4gh vs paper %.4gh (ratio %.2f)", c.prog.Name, c.d, r.ExecHours, c.hours, ratio)
+		}
+	}
+}
+
+// TestQubitCountNearPaper checks the layout model against Table 2's
+// no-calibration physical qubit counts (±20%).
+func TestQubitCountNearPaper(t *testing.T) {
+	cases := []struct {
+		prog   workload.Program
+		d      int
+		qubits float64
+	}{
+		{workload.Hubbard(10, 10), 25, 9.81e5},
+		{workload.Hubbard(20, 20), 29, 5.28e6},
+		{workload.Jellium(250), 39, 2.74e6},
+		{workload.Jellium(1024), 45, 1.66e7},
+		{workload.Grover(100), 41, 1.35e6},
+	}
+	for _, c := range cases {
+		cfg := Config{Prog: c.prog, D: c.d, RetryTarget: 0.01, Seed: 1}
+		r, err := Run(cfg, StrategyNoCal)
+		if err != nil {
+			t.Fatalf("%s: %v", c.prog.Name, err)
+		}
+		ratio := r.PhysicalQubits / c.qubits
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s d=%d: %.3g qubits vs paper %.3g (ratio %.2f)", c.prog.Name, c.d, r.PhysicalQubits, c.qubits, ratio)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package sim implements Monte-Carlo sampling of stabilizer circuits.
+//
+// The workhorse is a batched Pauli-frame simulator: instead of tracking
+// quantum state, it tracks — for each of many shots in parallel — the Pauli
+// difference ("frame") between the noisy execution and the noiseless
+// reference execution. For circuits whose measurements are all determined
+// by stabilizer propagation (true of every syndrome-extraction circuit this
+// repository generates), the frame fully determines which measurement
+// outcomes flip relative to the noiseless run, hence all detector and
+// observable values. This is the same strategy Stim uses for its sampling
+// fast path.
+//
+// Shots are packed 64 per machine word so one pass over the circuit
+// advances 64 Monte-Carlo trajectories.
+package sim
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/rng"
+	"math"
+)
+
+// FrameSimulator samples detector and observable flip bits for batches of
+// shots of a fixed circuit.
+type FrameSimulator struct {
+	c   *circuit.Circuit
+	rng *rng.RNG
+
+	nWords int // words per 64-shot batch row (always 1; kept for clarity)
+
+	// Per-qubit frame bits for the current 64-shot batch.
+	xf []uint64 // X component of the frame (flips Z-basis measurements)
+	zf []uint64 // Z component of the frame (flips X-basis measurements)
+
+	// Measurement-record flip bits for the current batch.
+	recs []uint64
+}
+
+// NewFrameSimulator returns a simulator for c drawing randomness from r.
+func NewFrameSimulator(c *circuit.Circuit, r *rng.RNG) *FrameSimulator {
+	return &FrameSimulator{
+		c: c, rng: r, nWords: 1,
+		xf:   make([]uint64, c.NumQubits),
+		zf:   make([]uint64, c.NumQubits),
+		recs: make([]uint64, c.NumMeas),
+	}
+}
+
+// BatchResult holds detector and observable flips for one 64-shot batch,
+// one word per detector/observable with bit i belonging to shot i.
+type BatchResult struct {
+	Detectors   []uint64
+	Observables []uint64
+	Shots       int // number of valid low bits (≤ 64)
+}
+
+// bernoulliMask returns a 64-bit word whose bits are independently 1 with
+// probability p. For small p it uses geometric skipping (draw the gap to the
+// next success) which costs O(p·64) random draws instead of 64.
+func bernoulliMask(r *rng.RNG, p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	var mask uint64
+	if p < 0.1 {
+		// Geometric skipping: positions of successes in a Bernoulli stream.
+		logq := math.Log1p(-p)
+		i := 0
+		for {
+			u := r.Float64()
+			// Gap ~ floor(log(1-u)/log(1-p)); u in [0,1) keeps log finite.
+			gap := int(math.Log1p(-u) / logq)
+			i += gap
+			if i >= 64 {
+				return mask
+			}
+			mask |= 1 << uint(i)
+			i++
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if r.Float64() < p {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// runBatch executes one 64-shot pass, filling det/obs flip words.
+func (fs *FrameSimulator) runBatch(det, obs []uint64) {
+	for i := range fs.xf {
+		fs.xf[i] = 0
+		fs.zf[i] = 0
+	}
+	for i := range fs.recs {
+		fs.recs[i] = 0
+	}
+	for i := range det {
+		det[i] = 0
+	}
+	for i := range obs {
+		obs[i] = 0
+	}
+	meas := 0
+	for _, in := range fs.c.Instructions {
+		switch in.Op {
+		case circuit.OpH:
+			for _, q := range in.Targets {
+				fs.xf[q], fs.zf[q] = fs.zf[q], fs.xf[q]
+			}
+		case circuit.OpS:
+			// S maps X -> Y: an X frame gains a Z component.
+			for _, q := range in.Targets {
+				fs.zf[q] ^= fs.xf[q]
+			}
+		case circuit.OpCX:
+			for i := 0; i < len(in.Targets); i += 2 {
+				c, t := in.Targets[i], in.Targets[i+1]
+				fs.xf[t] ^= fs.xf[c] // X on control propagates to target
+				fs.zf[c] ^= fs.zf[t] // Z on target propagates to control
+			}
+		case circuit.OpCZ:
+			for i := 0; i < len(in.Targets); i += 2 {
+				a, b := in.Targets[i], in.Targets[i+1]
+				fs.zf[a] ^= fs.xf[b]
+				fs.zf[b] ^= fs.xf[a]
+			}
+		case circuit.OpSwap:
+			for i := 0; i < len(in.Targets); i += 2 {
+				a, b := in.Targets[i], in.Targets[i+1]
+				fs.xf[a], fs.xf[b] = fs.xf[b], fs.xf[a]
+				fs.zf[a], fs.zf[b] = fs.zf[b], fs.zf[a]
+			}
+		case circuit.OpReset:
+			// Reset discards the frame; a noisy reset leaves an X error
+			// (wrong computational-basis state) with probability Arg.
+			for _, q := range in.Targets {
+				fs.xf[q] = bernoulliMask(fs.rng, in.Arg)
+				fs.zf[q] = 0
+			}
+		case circuit.OpResetX:
+			for _, q := range in.Targets {
+				fs.zf[q] = bernoulliMask(fs.rng, in.Arg)
+				fs.xf[q] = 0
+			}
+		case circuit.OpM:
+			// An X or Y frame flips a Z-basis outcome; readout error adds an
+			// independent classical flip. The post-measurement Z frame is a
+			// stabilizer of the collapsed state, so it is cleared.
+			for _, q := range in.Targets {
+				fs.recs[meas] = fs.xf[q] ^ bernoulliMask(fs.rng, in.Arg)
+				fs.zf[q] = 0
+				meas++
+			}
+		case circuit.OpMX:
+			for _, q := range in.Targets {
+				fs.recs[meas] = fs.zf[q] ^ bernoulliMask(fs.rng, in.Arg)
+				fs.xf[q] = 0
+				meas++
+			}
+		case circuit.OpXError:
+			for _, q := range in.Targets {
+				fs.xf[q] ^= bernoulliMask(fs.rng, in.Arg)
+			}
+		case circuit.OpZError:
+			for _, q := range in.Targets {
+				fs.zf[q] ^= bernoulliMask(fs.rng, in.Arg)
+			}
+		case circuit.OpYError:
+			for _, q := range in.Targets {
+				m := bernoulliMask(fs.rng, in.Arg)
+				fs.xf[q] ^= m
+				fs.zf[q] ^= m
+			}
+		case circuit.OpDepolarize1:
+			for _, q := range in.Targets {
+				m := bernoulliMask(fs.rng, in.Arg)
+				if m == 0 {
+					continue
+				}
+				// For each erring shot choose X, Y or Z uniformly.
+				for w := m; w != 0; w &= w - 1 {
+					bit := w & -w
+					switch fs.rng.Intn(3) {
+					case 0:
+						fs.xf[q] ^= bit
+					case 1:
+						fs.xf[q] ^= bit
+						fs.zf[q] ^= bit
+					case 2:
+						fs.zf[q] ^= bit
+					}
+				}
+			}
+		case circuit.OpDepolarize2:
+			for i := 0; i < len(in.Targets); i += 2 {
+				a, b := in.Targets[i], in.Targets[i+1]
+				m := bernoulliMask(fs.rng, in.Arg)
+				if m == 0 {
+					continue
+				}
+				for w := m; w != 0; w &= w - 1 {
+					bit := w & -w
+					// Choose one of the 15 non-identity two-qubit Paulis.
+					k := fs.rng.Intn(15) + 1 // 1..15, 2 bits per qubit
+					pa, pb := k&3, k>>2
+					if pa&2 != 0 {
+						fs.xf[a] ^= bit
+					}
+					if pa&1 != 0 {
+						fs.zf[a] ^= bit
+					}
+					if pb&2 != 0 {
+						fs.xf[b] ^= bit
+					}
+					if pb&1 != 0 {
+						fs.zf[b] ^= bit
+					}
+				}
+			}
+		case circuit.OpDetector:
+			var v uint64
+			for _, rIdx := range in.Recs {
+				v ^= fs.recs[rIdx]
+			}
+			det[in.Index] = v
+		case circuit.OpObservable:
+			var v uint64
+			for _, rIdx := range in.Recs {
+				v ^= fs.recs[rIdx]
+			}
+			obs[in.Index] ^= v
+		case circuit.OpTick:
+			// no state effect
+		}
+	}
+}
+
+// Sample runs shots Monte-Carlo trajectories and invokes visit once per
+// 64-shot batch with the detector and observable flip words. The final
+// batch may contain fewer than 64 valid shots (BatchResult.Shots).
+func (fs *FrameSimulator) Sample(shots int, visit func(BatchResult)) {
+	det := make([]uint64, fs.c.NumDetectors)
+	obs := make([]uint64, fs.c.NumObs)
+	for done := 0; done < shots; done += 64 {
+		n := shots - done
+		if n > 64 {
+			n = 64
+		}
+		fs.runBatch(det, obs)
+		if n < 64 {
+			lowMask := uint64(1)<<uint(n) - 1
+			for i := range det {
+				det[i] &= lowMask
+			}
+			for i := range obs {
+				obs[i] &= lowMask
+			}
+		}
+		visit(BatchResult{Detectors: det, Observables: obs, Shots: n})
+	}
+}
+
+// CountObservableFlips samples shots trajectories with no decoding and
+// returns, per observable, the number of shots whose raw observable flipped.
+// This measures the *undecoded* physical failure rate and is mostly useful
+// for tests; real experiments decode first (see internal/decoder.Evaluate).
+func (fs *FrameSimulator) CountObservableFlips(shots int) []int {
+	counts := make([]int, fs.c.NumObs)
+	fs.Sample(shots, func(b BatchResult) {
+		for i, w := range b.Observables {
+			counts[i] += popcount(w)
+		}
+	})
+	return counts
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}

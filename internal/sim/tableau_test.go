@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"caliqec/internal/rng"
+	"testing"
+)
+
+func TestTableauBasics(t *testing.T) {
+	r := rng.New(1)
+	tb := NewTableau(1)
+	if tb.MeasureZ(0, r) {
+		t.Fatal("|0> measured as 1")
+	}
+	tb.X(0)
+	if !tb.MeasureZ(0, r) {
+		t.Fatal("X|0> measured as 0")
+	}
+	// |+> gives random but repeatable outcomes.
+	tb2 := NewTableau(1)
+	tb2.H(0)
+	m1 := tb2.MeasureZ(0, r)
+	m2 := tb2.MeasureZ(0, r)
+	if m1 != m2 {
+		t.Fatal("repeated Z measurement disagreed")
+	}
+}
+
+func TestTableauBell(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		r := rng.New(seed)
+		tb := NewTableau(2)
+		tb.H(0)
+		tb.CX(0, 1)
+		a := tb.MeasureZ(0, r)
+		b := tb.MeasureZ(1, r)
+		if a != b {
+			t.Fatalf("seed %d: Bell pair outcomes disagree", seed)
+		}
+	}
+}
+
+// TestTableauRepeatedXStabilizer measures X0X1 repeatedly through an
+// ancilla: the first outcome is random but subsequent ones must repeat it.
+func TestTableauRepeatedXStabilizer(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		r := rng.New(seed)
+		tb := NewTableau(3)
+		var first bool
+		for round := 0; round < 4; round++ {
+			tb.ResetZ(2, r)
+			tb.H(2)
+			tb.CX(2, 0)
+			tb.CX(2, 1)
+			tb.H(2)
+			m := tb.MeasureZ(2, r)
+			if round == 0 {
+				first = m
+			} else if m != first {
+				t.Fatalf("seed %d round %d: X0X1 flipped without noise", seed, round)
+			}
+		}
+	}
+}
+
+// TestTableauFunnelZ measures Z0Z1 through a two-ancilla funnel chain with
+// uncompute; on |00> the outcome is deterministic 0 every round.
+func TestTableauFunnelZ(t *testing.T) {
+	r := rng.New(5)
+	tb := NewTableau(4)
+	for round := 0; round < 4; round++ {
+		tb.ResetZ(2, r)
+		tb.ResetZ(3, r)
+		tb.CX(0, 2)
+		tb.CX(2, 3)
+		tb.CX(1, 3)
+		tb.CX(0, 2) // uncompute partial
+		if tb.MeasureZ(3, r) {
+			t.Fatalf("round %d: Z0Z1 on |00> measured 1", round)
+		}
+	}
+}
+
+// TestTableauAlternatingStabilizers interleaves X0X1 and Z0Z1-style
+// measurements (they anticommute individually on overlapping supports when
+// using gauge pieces); here use commuting X0X1 and Z0Z1 on a Bell-like
+// state: both must be simultaneously repeatable.
+func TestTableauAlternatingStabilizers(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := rng.New(seed + 100)
+		tb := NewTableau(4) // q0,q1 data; q2,q3 ancillas
+		var fx, fz bool
+		for round := 0; round < 4; round++ {
+			tb.ResetZ(2, r)
+			tb.H(2)
+			tb.CX(2, 0)
+			tb.CX(2, 1)
+			tb.H(2)
+			mx := tb.MeasureZ(2, r)
+			tb.ResetZ(3, r)
+			tb.CX(0, 3)
+			tb.CX(1, 3)
+			mz := tb.MeasureZ(3, r)
+			if round == 0 {
+				fx, fz = mx, mz
+			} else if mx != fx || mz != fz {
+				t.Fatalf("seed %d round %d: stabilizers drifted (X %v->%v, Z %v->%v)",
+					seed, round, fx, mx, fz, mz)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package workload generates the benchmark programs of the paper's
+// evaluation (§7.1): Hubbard-model simulation, Jellium simulation, Grover
+// search, and FeMoCo catalyst analysis. Table 2 consumes only aggregate
+// resource counts — logical qubits, CX count, T count — so each generator
+// is a resource-estimate model. The scaling exponents and coefficients are
+// calibrated to the instances the paper reports (Hubbard-10-10/-20-20,
+// Jellium-250/-1024, Grover-100) and documented inline; other sizes
+// extrapolate along the fitted power laws.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Program is one benchmark instance.
+type Program struct {
+	Name          string
+	LogicalQubits int
+	CX            float64 // logical CNOT count
+	T             float64 // logical T-gate count (magic states consumed)
+	// Parallelism is the effective logical-operation parallelism of the
+	// compiled program on the paper's lattice-surgery architecture, fitted
+	// from Table 2's (distance, execution time) pairs via
+	// time = (CX+T)·d·1µs / Parallelism. It folds routing congestion and
+	// T-state availability into one throughput factor.
+	Parallelism float64
+}
+
+// LogicalOps returns the total logical operation count.
+func (p Program) LogicalOps() float64 { return p.CX + p.T }
+
+func (p Program) String() string {
+	return fmt.Sprintf("%s: %d logical qubits, %.3g CX, %.3g T", p.Name, p.LogicalQubits, p.CX, p.T)
+}
+
+// Hubbard returns an n×m Fermi-Hubbard simulation: 2nm spin orbitals →
+// logical qubits; gate counts follow (nm)^2.5 for CX and (nm)^2 for T,
+// matching the paper's 10×10 (1.64e9 CX, 7.1e8 T) and 20×20 (5.3e10 CX,
+// 1.2e10 T) instances.
+func Hubbard(n, m int) Program {
+	s := float64(n * m)
+	return Program{
+		Name:          fmt.Sprintf("Hubbard-%d-%d", n, m),
+		LogicalQubits: 2 * n * m,
+		CX:            1.64e4 * math.Pow(s, 2.5),
+		T:             7.10e4 * s * s,
+		Parallelism:   3.08 * math.Pow(s/100, 0.45),
+	}
+}
+
+// Jellium returns an N-orbital uniform-electron-gas simulation. Power laws
+// fitted to the 250 (8.23e9 CX, 1.1e9 T) and 1024 (1.25e12 CX, 4.3e10 T)
+// instances.
+func Jellium(n int) Program {
+	nf := float64(n)
+	// The paper's two jellium instances imply very different effective
+	// parallelism (0.57 at n=250, 8.6 at n=1024) — their compiler exploits
+	// the larger instance's width; interpolate geometrically in log n.
+	par := 0.571 * math.Pow(nf/250, 1.93)
+	return Program{
+		Name:          fmt.Sprintf("jellium-%d", n),
+		LogicalQubits: n,
+		CX:            24 * math.Pow(nf, 3.56),
+		T:             643 * math.Pow(nf, 2.6),
+		Parallelism:   par,
+	}
+}
+
+// Grover returns an n-qubit Grover search sized to the paper's Grover-100
+// instance (6.8e9 CX, 5.4e10 T); other sizes scale cubically (oracle cost ×
+// iteration count at fixed target amplification).
+func Grover(n int) Program {
+	s := float64(n) / 100
+	return Program{
+		Name:          fmt.Sprintf("Grover-%d", n),
+		LogicalQubits: n,
+		CX:            6.8e9 * s * s * s,
+		T:             5.4e10 * s * s * s,
+		Parallelism:   3.15 * math.Pow(s, 0.5),
+	}
+}
+
+// FeMoCo returns the FeMo cofactor electronic-structure benchmark the
+// paper's intro motivates (nitrogen fixation), sized per the tensor-
+// hypercontraction estimates of Lee et al. (reference [40]): 156 spin
+// orbitals and ~5.3e10 Toffoli-equivalent T states.
+func FeMoCo() Program {
+	return Program{
+		Name:          "FeMoCo",
+		LogicalQubits: 156,
+		CX:            1.10e10,
+		T:             5.30e10,
+		Parallelism:   2.4,
+	}
+}
+
+// Table2Programs returns the five benchmark instances of Table 2 in paper
+// order.
+func Table2Programs() []Program {
+	return []Program{
+		Hubbard(10, 10),
+		Hubbard(20, 20),
+		Jellium(250),
+		Jellium(1024),
+		Grover(100),
+	}
+}

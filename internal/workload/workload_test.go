@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable2Counts checks each generator against the resource counts the
+// paper reports in Table 2 (±10%: the generators are power-law fits through
+// those points).
+func TestTable2Counts(t *testing.T) {
+	cases := []struct {
+		prog       Program
+		logical    int
+		cx, tcount float64
+	}{
+		{Hubbard(10, 10), 200, 1.64e9, 7.10e8},
+		{Hubbard(20, 20), 800, 5.3e10, 1.2e10},
+		{Jellium(250), 250, 8.23e9, 1.10e9},
+		{Jellium(1024), 1024, 1.25e12, 4.30e10},
+		{Grover(100), 100, 6.8e9, 5.4e10},
+	}
+	for _, c := range cases {
+		if c.prog.LogicalQubits != c.logical {
+			t.Errorf("%s: %d logical qubits, want %d", c.prog.Name, c.prog.LogicalQubits, c.logical)
+		}
+		if r := c.prog.CX / c.cx; r < 0.9 || r > 1.1 {
+			t.Errorf("%s: CX %.3g vs paper %.3g", c.prog.Name, c.prog.CX, c.cx)
+		}
+		if r := c.prog.T / c.tcount; r < 0.9 || r > 1.1 {
+			t.Errorf("%s: T %.3g vs paper %.3g", c.prog.Name, c.prog.T, c.tcount)
+		}
+		if c.prog.Parallelism <= 0 {
+			t.Errorf("%s: non-positive parallelism", c.prog.Name)
+		}
+	}
+}
+
+func TestScalingMonotone(t *testing.T) {
+	if Hubbard(12, 12).CX <= Hubbard(10, 10).CX {
+		t.Error("Hubbard CX should grow with lattice size")
+	}
+	if Jellium(500).T <= Jellium(250).T {
+		t.Error("Jellium T should grow with orbitals")
+	}
+	if Grover(120).LogicalOps() <= Grover(100).LogicalOps() {
+		t.Error("Grover ops should grow with width")
+	}
+}
+
+func TestFeMoCo(t *testing.T) {
+	f := FeMoCo()
+	if f.LogicalQubits != 156 || f.T < 1e10 {
+		t.Errorf("FeMoCo resource estimate off: %+v", f)
+	}
+}
+
+func TestTable2Programs(t *testing.T) {
+	ps := Table2Programs()
+	if len(ps) != 5 {
+		t.Fatalf("%d programs", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if math.IsNaN(p.CX) || math.IsInf(p.CX, 0) {
+			t.Errorf("%s: bad CX", p.Name)
+		}
+	}
+	for _, want := range []string{"Hubbard-10-10", "Hubbard-20-20", "jellium-250", "jellium-1024", "Grover-100"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
