@@ -12,10 +12,12 @@ import (
 	"caliqec/internal/dem"
 	"caliqec/internal/exp"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
 	"caliqec/internal/runtime"
 	"caliqec/internal/sim"
 	"caliqec/internal/workload"
+	"context"
 	"testing"
 )
 
@@ -25,8 +27,9 @@ func benchExperiment(b *testing.B, id string) {
 	if run == nil {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := run(uint64(2025 + i)); err != nil {
+		if _, err := run(ctx, uint64(2025+i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,6 +170,45 @@ func BenchmarkGreedyDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dec.Decode(syn)
 	}
+}
+
+// BenchmarkEngineCachedSweep compares a parameter sweep that re-evaluates
+// the same circuit through a cold engine (fresh cache every iteration, so
+// every Evaluate pays DEM extraction + graph construction) against the warm
+// path (shared engine, cache hit). The gap is the amortized setup cost the
+// mc engine's fingerprint cache saves across sweeps like FitLERModel.
+func BenchmarkEngineCachedSweep(b *testing.B) {
+	p := memoryCircuit(b, 5)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 5, Basis: lattice.BasisZ, Noise: code.UniformNoise(2e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := func(i int) mc.Spec {
+		return mc.Spec{
+			Circuit: c, Decoder: decoder.KindUnionFind,
+			Shots: 256, Rounds: 5, RNG: rng.New(uint64(i + 1)),
+		}
+	}
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.New(mc.Options{}).Evaluate(ctx, spec(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := mc.New(mc.Options{})
+		if _, err := eng.Evaluate(ctx, spec(0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Evaluate(ctx, spec(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkIsolateReintegrate measures one full isolation/reintegration

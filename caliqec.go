@@ -32,9 +32,11 @@ import (
 	"caliqec/internal/deform"
 	"caliqec/internal/device"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/noise"
 	"caliqec/internal/rng"
 	"caliqec/internal/sched"
+	"context"
 	"fmt"
 	"sort"
 )
@@ -272,8 +274,19 @@ func (s *System) RunInterval(plan *Plan, n int, nowHours float64) (*IntervalRepo
 
 // MeasureLER Monte-Carlo-samples the current patch's memory experiment at
 // the device's current noise (time nowHours) and decodes with the
-// union-find decoder, returning the per-round logical error rate.
+// union-find decoder, returning the per-round logical error rate. It is
+// MeasureLERContext with a background context.
 func (s *System) MeasureLER(nowHours float64, rounds, shots int) (decoder.Result, error) {
+	return s.MeasureLERContext(context.Background(), nowHours, rounds, shots)
+}
+
+// MeasureLERContext is MeasureLER with a caller-supplied context: the
+// measurement aborts promptly (returning ctx.Err()) if the context is
+// cancelled or its deadline passes mid-run. Evaluation goes through the
+// shared internal/mc engine, so repeated measurements of structurally
+// identical circuits at identical noise reuse the cached detector error
+// model and decoding graph.
+func (s *System) MeasureLERContext(ctx context.Context, nowHours float64, rounds, shots int) (decoder.Result, error) {
 	nm := s.Device.NoiseAt(nowHours)
 	c, err := s.Deformer.Patch.MemoryCircuit(code.MemoryOptions{
 		Rounds: rounds, Basis: lattice.BasisZ, Noise: nm,
@@ -281,5 +294,12 @@ func (s *System) MeasureLER(nowHours float64, rounds, shots int) (decoder.Result
 	if err != nil {
 		return decoder.Result{}, err
 	}
-	return decoder.Evaluate(c, decoder.KindUnionFind, shots, rounds, s.rng.Split())
+	res, err := mc.Evaluate(ctx, mc.Spec{
+		Circuit: c, Decoder: decoder.KindUnionFind,
+		Shots: shots, Rounds: rounds, RNG: s.rng.Split(),
+	})
+	if err != nil {
+		return decoder.Result{}, err
+	}
+	return res.Result, nil
 }

@@ -15,11 +15,15 @@ import (
 	"caliqec/internal/decoder"
 	"caliqec/internal/deform"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 )
 
 func main() {
@@ -181,9 +185,11 @@ func cmdSimulate(args []string) error {
 	d := fs.Int("d", 3, "code distance")
 	p := fs.Float64("p", 1e-3, "physical error rate")
 	rounds := fs.Int("rounds", 0, "QEC rounds (default d)")
-	shots := fs.Int("shots", 20000, "Monte-Carlo shots")
+	shots := fs.Int("shots", 20000, "Monte-Carlo shot budget")
 	seed := fs.Uint64("seed", 1, "random seed")
 	isolate := fs.Bool("isolate", false, "isolate the central data qubit first (DataQ_RM)")
+	targetFails := fs.Int("target-failures", 0, "stop early once this many logical failures are seen (0 = run the full budget)")
+	progress := fs.Bool("progress", false, "print a live shots/failures status line to stderr")
 	fs.Parse(args)
 	tp, err := parseTopo(*topo)
 	if err != nil {
@@ -213,11 +219,29 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := decoder.Evaluate(c, decoder.KindUnionFind, *shots, *rounds, rng.New(*seed))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	spec := mc.Spec{
+		Circuit: c, Decoder: decoder.KindUnionFind,
+		Shots: *shots, Rounds: *rounds, RNG: rng.New(*seed),
+		TargetFailures: *targetFails,
+	}
+	if *progress {
+		spec.Progress = func(done, failures int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d shots, %d failures", done, *shots, failures)
+		}
+	}
+	res, err := mc.Evaluate(ctx, spec)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%v d=%d p=%.3g rounds=%d: %v (per-round %.4g)\n", tp, *d, *p, *rounds, res, res.PerRoundLER)
+	fmt.Printf("%v d=%d p=%.3g rounds=%d: %v (per-round %.4g)\n", tp, *d, *p, *rounds, res.Result, res.PerRoundLER)
+	if res.EarlyStopped {
+		fmt.Printf("early stop: %d of %d budgeted shots spent\n", res.Shots, res.Requested)
+	}
 	return nil
 }
 

@@ -6,22 +6,31 @@
 //	repro -exp all            # everything, in paper order
 //	repro -list               # list experiment IDs
 //	repro -exp table2 -seed 7 # alternate seed
+//	repro -exp fig13 -progress # live Monte-Carlo status on stderr
+//
+// Interrupting (Ctrl-C) cancels the in-flight Monte-Carlo evaluation
+// promptly instead of waiting for the shot budget to drain.
 package main
 
 import (
 	"caliqec/internal/exp"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
-		seed   = flag.Uint64("seed", 2025, "random seed")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		outDir = flag.String("o", "", "also write <id>.json and <id>.csv into this directory")
+		which    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed     = flag.Uint64("seed", 2025, "random seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		outDir   = flag.String("o", "", "also write <id>.json and <id>.csv into this directory")
+		progress = flag.Bool("progress", false, "print live Monte-Carlo status lines to stderr")
 	)
 	flag.Parse()
 	reg := exp.All()
@@ -39,10 +48,24 @@ func main() {
 		}
 		ids = []string{*which}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *progress {
+		ctx = exp.WithProgress(ctx, func(label string, shots, total, failures int) {
+			fmt.Fprintf(os.Stderr, "\r\x1b[K%s: %d/%d shots, %d failures", label, shots, total, failures)
+		})
+	}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := reg[id](*seed)
+		rep, err := reg[id](ctx, *seed)
+		if *progress {
+			fmt.Fprint(os.Stderr, "\r\x1b[K")
+		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "%s: interrupted\n", id)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}

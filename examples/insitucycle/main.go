@@ -16,7 +16,9 @@ import (
 	"caliqec/internal/decoder"
 	"caliqec/internal/deform"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
+	"context"
 	"fmt"
 	"log"
 )
@@ -63,7 +65,9 @@ func main() {
 	fmt.Printf("timeline circuit: %d instructions, %d detectors (incl. gauge-fixing transition detectors), %d measurement bits\n",
 		len(cycle.Instructions), cycle.NumDetectors, cycle.NumMeas)
 
-	cres, err := decoder.EvaluateParallel(cycle, decoder.KindUnionFind, shots, 3*rounds, 0, rng.New(1))
+	cres, err := mc.Evaluate(context.Background(), mc.Spec{
+		Circuit: cycle, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds, RNG: rng.New(1),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +76,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sres, err := decoder.EvaluateParallel(sc, decoder.KindUnionFind, shots, 3*rounds, 0, rng.New(2))
+	sres, err := mc.Evaluate(context.Background(), mc.Spec{
+		Circuit: sc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds, RNG: rng.New(2),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,6 @@ import (
 	"caliqec/internal/code"
 	"caliqec/internal/dem"
 	"caliqec/internal/lattice"
-	"caliqec/internal/rng"
 	"testing"
 )
 
@@ -71,103 +70,9 @@ func TestDecodersCorrectSingleMechanisms(t *testing.T) {
 	}
 }
 
-// TestLogicalErrorSuppression is the headline physics check: below
-// threshold, distance 5 must beat distance 3.
-func TestLogicalErrorSuppression(t *testing.T) {
-	if testing.Short() {
-		t.Skip("Monte Carlo")
-	}
-	p := 2e-3
-	shots := 30000
-	var lers [2]float64
-	for i, d := range []int{3, 5} {
-		lat := lattice.NewSquare(d)
-		patch := code.NewPatch(lat)
-		c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: d, Basis: lattice.BasisZ, Noise: code.UniformNoise(p)})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := Evaluate(c, KindUnionFind, shots, d, rng.New(uint64(42+d)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		lers[i] = res.LER
-		t.Logf("d=%d: %v", d, res)
-	}
-	if lers[1] >= lers[0] {
-		t.Errorf("no error suppression: LER(d=3)=%.4g LER(d=5)=%.4g", lers[0], lers[1])
-	}
-	if lers[0] == 0 {
-		t.Errorf("suspiciously zero LER at d=3, p=%g", p)
-	}
-}
-
-// TestGreedyAgreesRoughly: greedy matching should produce failure rates in
-// the same ballpark as union-find on d=3 (within a factor of a few).
-func TestGreedyAgreesRoughly(t *testing.T) {
-	if testing.Short() {
-		t.Skip("Monte Carlo")
-	}
-	patch := code.NewPatch(lattice.NewSquare(3))
-	c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(3e-3)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ru, err := Evaluate(c, KindUnionFind, 20000, 3, rng.New(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	rg, err := Evaluate(c, KindGreedy, 20000, 3, rng.New(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("uf=%v greedy=%v", ru, rg)
-	if ru.Failures == 0 || rg.Failures == 0 {
-		t.Fatal("expected some failures at p=3e-3, d=3")
-	}
-	ratio := ru.LER / rg.LER
-	if ratio < 0.2 || ratio > 5 {
-		t.Errorf("decoders disagree wildly: uf=%.4g greedy=%.4g", ru.LER, rg.LER)
-	}
-}
-
 func TestEmptySyndrome(t *testing.T) {
 	_, _, uf, gr, _ := memCircuit(t, lattice.Square, 3, 2, 1e-3)
 	if uf.Decode(nil) != 0 || gr.Decode(nil) != 0 {
 		t.Fatal("empty syndrome must decode to no correction")
-	}
-}
-
-// TestParallelEvaluateDeterministic: same seed and worker count give
-// identical results; and the parallel failure rate matches the serial one
-// statistically.
-func TestParallelEvaluateDeterministic(t *testing.T) {
-	if testing.Short() {
-		t.Skip("Monte Carlo")
-	}
-	patch := code.NewPatch(lattice.NewSquare(3))
-	c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(3e-3)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	r1, err := EvaluateParallel(c, KindUnionFind, 20000, 3, 4, rng.New(9))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r2, err := EvaluateParallel(c, KindUnionFind, 20000, 3, 4, rng.New(9))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r1.Failures != r2.Failures {
-		t.Errorf("parallel evaluation nondeterministic: %d vs %d failures", r1.Failures, r2.Failures)
-	}
-	serial, err := Evaluate(c, KindUnionFind, 20000, 3, rng.New(10))
-	if err != nil {
-		t.Fatal(err)
-	}
-	lo := serial.LER / 2
-	hi := serial.LER * 2
-	if r1.LER < lo || r1.LER > hi {
-		t.Errorf("parallel LER %.4g outside [%.4g, %.4g] of serial", r1.LER, lo, hi)
 	}
 }

@@ -1,18 +1,20 @@
 package decoder
 
 import (
-	"caliqec/internal/circuit"
-	"caliqec/internal/dem"
 	"caliqec/internal/rng"
-	"caliqec/internal/sim"
 	"fmt"
 	"math"
 )
 
 // Result summarizes a Monte-Carlo logical-error-rate measurement.
+//
+// The measurement loop itself lives in internal/mc: the Engine there owns
+// sampling, decoding, caching and cancellation, and reports its counts
+// through this type (via Summarize). This package only defines the
+// decoders and the decoding graph.
 type Result struct {
 	Shots       int
-	Failures    int     // shots where decoded prediction missed observable 0
+	Failures    int     // shots where the predicted observable mask missed the sampled one
 	LER         float64 // Failures / Shots (per run of the sampled circuit)
 	WilsonLo    float64 // 95% Wilson interval on LER
 	WilsonHi    float64
@@ -25,7 +27,7 @@ func (r Result) String() string {
 		r.Shots, r.Failures, r.LER, r.WilsonLo, r.WilsonHi)
 }
 
-// DecoderKind selects which decoder Evaluate builds.
+// DecoderKind selects a decoder family.
 type DecoderKind int
 
 // Available decoders.
@@ -42,59 +44,6 @@ func New(kind DecoderKind, g *Graph) Decoder {
 	default:
 		return NewUnionFind(g)
 	}
-}
-
-// Evaluate samples `shots` Monte-Carlo trajectories of c, decodes each with
-// the requested decoder, and returns the logical error rate of observable 0.
-// rounds is the number of QEC rounds in the circuit and is only used to
-// derive the per-round rate; pass 0 if not applicable.
-func Evaluate(c *circuit.Circuit, kind DecoderKind, shots, rounds int, r *rng.RNG) (Result, error) {
-	return EvaluateMismatched(c, c, kind, shots, rounds, r)
-}
-
-// EvaluateMismatched samples trajectories of `c` but builds the decoder
-// from `prior` — a circuit with identical structure whose noise rates
-// reflect what the decoder *believes* (e.g. the last calibration). This
-// models decoding with stale priors after error drift: the paper's drifted
-// scenarios run exactly this way, since the decoder is not told a gate has
-// drifted.
-func EvaluateMismatched(c, prior *circuit.Circuit, kind DecoderKind, shots, rounds int, r *rng.RNG) (Result, error) {
-	if c.NumDetectors != prior.NumDetectors || c.NumObs != prior.NumObs {
-		return Result{}, fmt.Errorf("decoder: prior circuit structure mismatch (%d/%d detectors, %d/%d observables)",
-			prior.NumDetectors, c.NumDetectors, prior.NumObs, c.NumObs)
-	}
-	model, err := dem.FromCircuit(prior)
-	if err != nil {
-		return Result{}, fmt.Errorf("decoder: extracting DEM: %w", err)
-	}
-	g, err := BuildGraph(model)
-	if err != nil {
-		return Result{}, fmt.Errorf("decoder: building graph: %w", err)
-	}
-	dec := New(kind, g)
-	fs := sim.NewFrameSimulator(c, r)
-	failures := 0
-	syndrome := make([]int, 0, 64)
-	fs.Sample(shots, func(b sim.BatchResult) {
-		for s := 0; s < b.Shots; s++ {
-			bit := uint64(1) << uint(s)
-			syndrome = syndrome[:0]
-			for d, w := range b.Detectors {
-				if w&bit != 0 {
-					syndrome = append(syndrome, d)
-				}
-			}
-			pred := dec.Decode(syndrome)
-			var actual uint64
-			if len(b.Observables) > 0 && b.Observables[0]&bit != 0 {
-				actual = 1
-			}
-			if pred&1 != actual {
-				failures++
-			}
-		}
-	})
-	return Summarize(shots, failures, rounds), nil
 }
 
 // Summarize converts raw shot/failure counts into a Result.

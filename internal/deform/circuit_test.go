@@ -4,8 +4,10 @@ import (
 	"caliqec/internal/code"
 	"caliqec/internal/decoder"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
 	"caliqec/internal/sim"
+	"context"
 	"testing"
 )
 
@@ -131,7 +133,9 @@ func TestDeformedPatchDecodes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := decoder.Evaluate(c, decoder.KindUnionFind, 5000, 3, rng.New(99))
+		res, err := mc.Evaluate(context.Background(), mc.Spec{
+			Circuit: c, Decoder: decoder.KindUnionFind, Shots: 5000, Rounds: 3, RNG: rng.New(99),
+		})
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}

@@ -4,7 +4,9 @@ import (
 	"caliqec/internal/code"
 	"caliqec/internal/decoder"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
+	"context"
 	"testing"
 )
 
@@ -48,7 +50,9 @@ func TestCalibrationCycleLER(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cycRes, err := decoder.Evaluate(cyc, decoder.KindUnionFind, shots, 9, rng.New(1))
+		cycRes, err := mc.Evaluate(context.Background(), mc.Spec{
+			Circuit: cyc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 9, RNG: rng.New(1),
+		})
 		if err != nil {
 			t.Fatalf("%v cycle: %v", kind, err)
 		}
@@ -57,7 +61,9 @@ func TestCalibrationCycleLER(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stRes, err := decoder.Evaluate(st, decoder.KindUnionFind, shots, 9, rng.New(2))
+		stRes, err := mc.Evaluate(context.Background(), mc.Spec{
+			Circuit: st, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 9, RNG: rng.New(2),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,9 +7,11 @@ import (
 	"caliqec/internal/deform"
 	"caliqec/internal/dem"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
 	"caliqec/internal/runtime"
 	"caliqec/internal/workload"
+	"context"
 	"fmt"
 	"time"
 )
@@ -19,7 +21,7 @@ import (
 // throughput. This is the design-choice ablation for substituting
 // union-find (the paper's cited decoder family for deformed codes) in
 // place of PyMatching.
-func AblateDecoder(seed uint64) (*Report, error) {
+func AblateDecoder(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "ablate-decoder",
 		Title:  "Decoder ablation: union-find vs matching baseline",
@@ -38,8 +40,13 @@ func AblateDecoder(seed uint64) (*Report, error) {
 				if kind == decoder.KindGreedy {
 					name = "matching"
 				}
+				// Workers: 1 so the wall-clock per shot reflects decode
+				// latency, not pool parallelism.
 				start := time.Now()
-				res, err := decoder.Evaluate(c, kind, shots, d, rng.New(seed+uint64(d)))
+				res, err := evalLER(ctx, fmt.Sprintf("ablate-decoder %s d=%d", name, d), mc.Spec{
+					Circuit: c, Decoder: kind, Shots: shots, Rounds: d,
+					RNG: rng.New(seed + uint64(d)), Workers: 1,
+				})
 				if err != nil {
 					return nil, err
 				}
@@ -57,7 +64,7 @@ func AblateDecoder(seed uint64) (*Report, error) {
 // AblateDeltaD sweeps CaliQEC's maximum tolerable distance loss Δd (the
 // paper fixes Δd = 4, §7.3) on the Hubbard-10-10 row: larger Δd buys more
 // calibration parallelism at more interspace qubits.
-func AblateDeltaD(seed uint64) (*Report, error) {
+func AblateDeltaD(_ context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "ablate-deltad",
 		Title:  "Δd ablation on Hubbard-10-10 (d=25)",
@@ -88,7 +95,7 @@ func AblateDeltaD(seed uint64) (*Report, error) {
 // AblatePriors quantifies the stale-decoder-priors effect underlying
 // Fig. 13: the same drifted circuit decoded with matched (drift-aware) vs
 // calibrated (stale) priors.
-func AblatePriors(seed uint64) (*Report, error) {
+func AblatePriors(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "ablate-priors",
 		Title:  "Decoder-prior ablation: drift-aware vs stale priors on a drifted d=3 code",
@@ -109,11 +116,17 @@ func AblatePriors(seed uint64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	matched, err := decoder.Evaluate(noisy, decoder.KindUnionFind, shots, 3, rng.New(seed+1))
+	matched, err := evalLER(ctx, "ablate-priors matched", mc.Spec{
+		Circuit: noisy, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3,
+		RNG: rng.New(seed + 1),
+	})
 	if err != nil {
 		return nil, err
 	}
-	stale, err := decoder.EvaluateMismatched(noisy, prior, decoder.KindUnionFind, shots, 3, rng.New(seed+1))
+	stale, err := evalLER(ctx, "ablate-priors stale", mc.Spec{
+		Circuit: noisy, Prior: prior, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3,
+		RNG: rng.New(seed + 1),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +176,7 @@ func (d *driftedOne) Reset(q int) float64 { return d.rate(q) }
 // schedule (required for gauge-fixed deformed codes) against the standard
 // interleaved simultaneous schedule on pristine square patches: same gate
 // counts under the per-gate noise model, different hook-error structure.
-func AblateSchedule(seed uint64) (*Report, error) {
+func AblateSchedule(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "ablate-schedule",
 		Title:  "Extraction-schedule ablation: sequential phases vs interleaved",
@@ -184,7 +197,10 @@ func AblateSchedule(seed uint64) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := decoder.EvaluateParallel(c, decoder.KindUnionFind, shots, d, 0, rng.New(seed+uint64(d)))
+			res, err := evalLER(ctx, fmt.Sprintf("ablate-schedule %s d=%d", name, d), mc.Spec{
+				Circuit: c, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: d,
+				RNG: rng.New(seed + uint64(d)),
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -200,7 +216,7 @@ func AblateSchedule(seed uint64) (*Report, error) {
 // deformed codes "ensuring minimal impact on decoding time": union-find
 // decode latency is measured on a pristine patch, an isolated (deformed)
 // patch, and a full deformation timeline.
-func DecodeCost(seed uint64) (*Report, error) {
+func DecodeCost(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "decode-cost",
 		Title:  "Decoding-time impact of code deformation (union-find, d=5)",
@@ -213,9 +229,13 @@ func DecodeCost(seed uint64) (*Report, error) {
 		shots  = 20000
 	)
 	mk := func() *code.Patch { return code.NewPatch(lattice.NewSquare(d)) }
-	timeIt := func(c *circuitT) (float64, int, error) {
+	timeIt := func(label string, c *circuitT) (float64, int, error) {
+		// Workers: 1 — this experiment reports decode latency per shot.
 		start := time.Now()
-		if _, err := decoder.Evaluate(c.c, decoder.KindUnionFind, shots, rounds, rng.New(seed+c.off)); err != nil {
+		if _, err := evalLER(ctx, "decode-cost "+label, mc.Spec{
+			Circuit: c.c, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: rounds,
+			RNG: rng.New(seed + c.off), Workers: 1,
+		}); err != nil {
 			return 0, 0, err
 		}
 		return time.Since(start).Seconds() * 1e6 / shots, c.c.NumDetectors, nil
@@ -252,7 +272,7 @@ func DecodeCost(seed uint64) (*Report, error) {
 		{"isolated (DataQ_RM)", &circuitT{cIso, 2}},
 		{"deformation timeline", &circuitT{cTl, 3}},
 	} {
-		us, dets, err := timeIt(row.ct)
+		us, dets, err := timeIt(row.name, row.ct)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,9 @@ import (
 	"caliqec/internal/decoder"
 	"caliqec/internal/deform"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
+	"context"
 	"fmt"
 )
 
@@ -18,7 +20,7 @@ import (
 // to end. The headline: the cycle's logical error rate stays within noise
 // of the static code's, i.e. in-situ calibration costs essentially nothing
 // at the circuit level.
-func CycleLER(seed uint64) (*Report, error) {
+func CycleLER(ctx context.Context, seed uint64) (*Report, error) {
 	const (
 		d      = 5
 		p      = 2e-3
@@ -44,7 +46,10 @@ func CycleLER(seed uint64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		sres, err := decoder.EvaluateParallel(sc, decoder.KindUnionFind, shots, 3*rounds, 0, rng.New(seed+1))
+		sres, err := evalLER(ctx, "cycle "+name+" static", mc.Spec{
+			Circuit: sc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds,
+			RNG: rng.New(seed + 1),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +68,10 @@ func CycleLER(seed uint64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cres, err := decoder.EvaluateParallel(cc, decoder.KindUnionFind, shots, 3*rounds, 0, rng.New(seed+2))
+		cres, err := evalLER(ctx, "cycle "+name+" calibration", mc.Spec{
+			Circuit: cc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds,
+			RNG: rng.New(seed + 2),
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ func osStat(dir, name string) (os.FileInfo, error) {
 
 func run(t *testing.T, id string) *Report {
 	t.Helper()
-	rep, err := All()[id](2025)
+	rep, err := All()[id](context.Background(), 2025)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

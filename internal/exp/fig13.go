@@ -5,8 +5,10 @@ import (
 	"caliqec/internal/decoder"
 	"caliqec/internal/deform"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/noise"
 	"caliqec/internal/rng"
+	"context"
 	"fmt"
 	"math"
 )
@@ -58,7 +60,7 @@ var (
 // the paper argues from — drifted ≫ isolated > original, and the heavy
 // hexagon more drift-sensitive than the square — are asserted by the test
 // suite.
-func Fig13RealDevice(seed uint64) (*Report, error) {
+func Fig13RealDevice(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "fig13",
 		Title:  fmt.Sprintf("d=%d LER under single-gate drift and CaliQEC isolation", fig13Distance),
@@ -89,7 +91,7 @@ func Fig13RealDevice(seed uint64) (*Report, error) {
 			return nil, fmt.Errorf("exp: no ancilla coupled to data qubit %d", dq)
 		}
 
-		run := func(patch *code.Patch, nm code.NoiseModel, seedOff uint64) (l, lo, hi float64, err error) {
+		run := func(label string, patch *code.Patch, nm code.NoiseModel, seedOff uint64) (l, lo, hi float64, err error) {
 			c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: fig13Distance, Basis: lattice.BasisZ, Noise: nm})
 			if err != nil {
 				return 0, 0, 0, err
@@ -98,14 +100,17 @@ func Fig13RealDevice(seed uint64) (*Report, error) {
 			if err != nil {
 				return 0, 0, 0, err
 			}
-			res, err := decoder.EvaluateParallelMismatched(c, prior, decoder.KindUnionFind, fig13Shots, fig13Distance, 0, rng.New(seed+seedOff))
+			res, err := evalLER(ctx, "fig13 "+key+" "+label, mc.Spec{
+				Circuit: c, Prior: prior, Decoder: decoder.KindUnionFind,
+				Shots: fig13Shots, Rounds: fig13Distance, RNG: rng.New(seed + seedOff),
+			})
 			if err != nil {
 				return 0, 0, 0, err
 			}
 			return res.LER, res.WilsonLo, res.WilsonHi, nil
 		}
 
-		orig, olo, ohi, err := run(base, code.UniformNoise(p0), 1)
+		orig, olo, ohi, err := run("original", base, code.UniformNoise(p0), 1)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +163,7 @@ func Fig13RealDevice(seed uint64) (*Report, error) {
 			{"isolated drifted-2Q", iso2, code.UniformNoise(p0)},
 		}
 		for i, sc := range scenarios {
-			l, lo, hi, err := run(sc.patch, sc.noise, uint64(10+i))
+			l, lo, hi, err := run(sc.label, sc.patch, sc.noise, uint64(10+i))
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", name, sc.label, err)
 			}

@@ -7,6 +7,7 @@ import (
 	"caliqec/internal/noise"
 	"caliqec/internal/rng"
 	"caliqec/internal/sched"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,7 +16,7 @@ import (
 // Fig1Drift reproduces Fig. 1: the fraction of gates exceeding the surface
 // code threshold over 24 hours on an Eagle-class synthetic device, with and
 // without periodic calibration.
-func Fig1Drift(seed uint64) (*Report, error) {
+func Fig1Drift(_ context.Context, seed uint64) (*Report, error) {
 	r := rng.New(seed)
 	lat := lattice.NewHeavyHex(7) // 127-qubit-class heavy-hex slab
 	dev := device.New(lat, device.Options{}, r)
@@ -48,7 +49,7 @@ func Fig1Drift(seed uint64) (*Report, error) {
 
 // Fig7Grouping reproduces the Fig. 7 worked example: the impact of the base
 // calibration interval T_Cali on total calibration frequency.
-func Fig7Grouping(uint64) (*Report, error) {
+func Fig7Grouping(_ context.Context, _ uint64) (*Report, error) {
 	// Gate deadlines {5, 8, 9, 13, 14} hours (drift constants with one
 	// decade of headroom).
 	var gates []sched.GateProfile
@@ -83,7 +84,7 @@ func Fig7Grouping(uint64) (*Report, error) {
 
 // Fig9DriftDistribution reproduces Fig. 9: the log-normal distribution of
 // drift time constants (mean 14.08 h).
-func Fig9DriftDistribution(seed uint64) (*Report, error) {
+func Fig9DriftDistribution(_ context.Context, seed uint64) (*Report, error) {
 	r := rng.New(seed)
 	m := noise.CurrentModel()
 	const n = 10000
@@ -128,7 +129,7 @@ func Fig9DriftDistribution(seed uint64) (*Report, error) {
 // Fig10LERTrajectory reproduces Fig. 10: LER dynamics of a d=11 patch under
 // error drift for (1) no calibration, (2) qubit isolation + calibration
 // without enlargement, (3) full CaliQEC with code enlargement.
-func Fig10LERTrajectory(seed uint64) (*Report, error) {
+func Fig10LERTrajectory(_ context.Context, seed uint64) (*Report, error) {
 	const (
 		d         = 11
 		deltaD    = 4    // distance lost while the calibration region is isolated
@@ -205,7 +206,7 @@ func b2f(b bool) float64 {
 // Fig11GroupingReduction reproduces Fig. 11: total calibration operations
 // under uniform calibration, CaliQEC's adaptive grouping, and the ideal
 // per-gate schedule, over a multi-day horizon.
-func Fig11GroupingReduction(seed uint64) (*Report, error) {
+func Fig11GroupingReduction(_ context.Context, seed uint64) (*Report, error) {
 	r := rng.New(seed)
 	model := noise.CurrentModel()
 	const (
@@ -263,7 +264,7 @@ func Fig11GroupingReduction(seed uint64) (*Report, error) {
 // Fig12SpaceTime reproduces Fig. 12: the space-time overhead (Δd × T_cal)
 // of sequential, bulk and adaptive intra-group scheduling across code
 // distances.
-func Fig12SpaceTime(seed uint64) (*Report, error) {
+func Fig12SpaceTime(_ context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "fig12",
 		Title:  "Space-time overhead of calibration scheduling",

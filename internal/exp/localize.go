@@ -6,6 +6,7 @@ import (
 	"caliqec/internal/lattice"
 	"caliqec/internal/noise"
 	"caliqec/internal/rng"
+	"context"
 	"fmt"
 )
 
@@ -17,7 +18,7 @@ import (
 // qubit (or an immediately adjacent check ancilla) without any
 // characterization downtime — the natural runtime trigger for CaliQEC's
 // isolation instructions.
-func LocalizeDrift(seed uint64) (*Report, error) {
+func LocalizeDrift(_ context.Context, seed uint64) (*Report, error) {
 	const (
 		d      = 5
 		rounds = 5

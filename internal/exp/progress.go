@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"caliqec/internal/mc"
+	"context"
+)
+
+// ProgressFunc receives live Monte-Carlo status while an experiment runs:
+// a human-readable label for the evaluation in flight, shots committed so
+// far, the shot budget, and failures counted. It may be called
+// concurrently from engine workers and must be fast.
+type ProgressFunc func(label string, shots, total, failures int)
+
+type progressKey struct{}
+
+// WithProgress returns a context whose Monte-Carlo experiments report live
+// status through fn (cmd/repro wires this to a status line).
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// evalLER is the one funnel through which every experiment in this package
+// runs a Monte-Carlo LER measurement: it attaches the context's progress
+// reporter (if any) to the spec and evaluates on the shared mc engine, so
+// repeated circuits across experiments hit one DEM/graph cache.
+func evalLER(ctx context.Context, label string, spec mc.Spec) (mc.Result, error) {
+	if fn, ok := ctx.Value(progressKey{}).(ProgressFunc); ok && fn != nil {
+		total := spec.Shots
+		spec.Progress = func(shots, failures int) { fn(label, shots, total, failures) }
+	}
+	return mc.Evaluate(ctx, spec)
+}

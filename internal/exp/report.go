@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -88,8 +89,10 @@ func (r *Report) Render() string {
 	return sb.String()
 }
 
-// Experiment names and their runners.
-type Runner func(seed uint64) (*Report, error)
+// Experiment names and their runners. The context cancels long Monte-Carlo
+// sweeps mid-shot-batch (see internal/mc) and can carry a live progress
+// reporter (WithProgress).
+type Runner func(ctx context.Context, seed uint64) (*Report, error)
 
 // All returns the experiment registry in paper order.
 func All() map[string]Runner {

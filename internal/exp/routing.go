@@ -3,6 +3,7 @@ package exp
 import (
 	"caliqec/internal/ftqc"
 	"caliqec/internal/rng"
+	"context"
 	"fmt"
 )
 
@@ -12,7 +13,7 @@ import (
 // compilation reference [8]) across fabric sizes, and the achieved mean
 // parallelism is compared with the per-benchmark throughput factors fitted
 // from Table 2 (internal/workload).
-func RoutingParallelism(seed uint64) (*Report, error) {
+func RoutingParallelism(_ context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "routing",
 		Title:  "Lattice-surgery routing: achieved parallelism vs fabric size",

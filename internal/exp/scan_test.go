@@ -5,7 +5,9 @@ import (
 	"caliqec/internal/decoder"
 	"caliqec/internal/deform"
 	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
 	"caliqec/internal/rng"
+	"context"
 	"testing"
 )
 
@@ -34,7 +36,9 @@ func TestScanIsolationCost(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rb, err := decoder.Evaluate(cb, decoder.KindUnionFind, 30000, 3, rng.New(1))
+			rb, err := mc.Evaluate(context.Background(), mc.Spec{
+				Circuit: cb, Decoder: decoder.KindUnionFind, Shots: 30000, Rounds: 3, RNG: rng.New(1),
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +51,9 @@ func TestScanIsolationCost(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ri, err := decoder.Evaluate(ci, decoder.KindUnionFind, 30000, 3, rng.New(2))
+			ri, err := mc.Evaluate(context.Background(), mc.Spec{
+				Circuit: ci, Decoder: decoder.KindUnionFind, Shots: 30000, Rounds: 3, RNG: rng.New(2),
+			})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -6,17 +6,19 @@ import (
 	"caliqec/internal/deform"
 	"caliqec/internal/lattice"
 	"caliqec/internal/ler"
+	"caliqec/internal/mc"
 	"caliqec/internal/noise"
 	"caliqec/internal/rng"
 	"caliqec/internal/runtime"
 	"caliqec/internal/workload"
+	"context"
 	"fmt"
 	"strings"
 )
 
 // Table1Instructions renders Table 1: the CaliQEC instruction sets per code
 // topology, straight from the deform package's registry.
-func Table1Instructions(uint64) (*Report, error) {
+func Table1Instructions(_ context.Context, _ uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "table1",
 		Title:  "CaliQEC instruction sets for square and heavy-hexagon surface codes",
@@ -65,7 +67,7 @@ func table2Rows() []table2Row {
 // under the three strategies, reporting physical qubits, execution time and
 // retry risk. Long-horizon rows use a coarser simulation step to bound
 // wall-clock time.
-func Table2(seed uint64) (*Report, error) {
+func Table2(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:    "table2",
 		Title: "Large-scale program comparison (No-Calibration / LSC / CaliQEC)",
@@ -76,6 +78,9 @@ func Table2(seed uint64) (*Report, error) {
 	}
 	var qLSC, qCQ, tLSC, riskRatio []float64
 	for i, row := range table2Rows() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := runtime.Config{
 			Prog:        row.prog,
 			D:           row.d,
@@ -133,7 +138,7 @@ func fmtRisk(r float64) string {
 // FitLERModel anchors the analytic Eq. (4) layer to this repository's own
 // Monte-Carlo substrate: it measures per-round LERs at d=3 and d=5 across
 // physical rates, fits (α, p_th), and compares with the paper's constants.
-func FitLERModel(seed uint64) (*Report, error) {
+func FitLERModel(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "fit",
 		Title:  "Calibrating LER(d,p) = α(p/p_th)^((d+1)/2) against Monte Carlo",
@@ -148,7 +153,10 @@ func FitLERModel(seed uint64) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := decoder.EvaluateParallel(c, decoder.KindUnionFind, shots, d, 0, rng.New(seed+uint64(d*1000)+uint64(p*1e6)))
+			res, err := evalLER(ctx, fmt.Sprintf("fit d=%d p=%.2g", d, p), mc.Spec{
+				Circuit: c, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: d,
+				RNG: rng.New(seed + uint64(d*1000) + uint64(p*1e6)),
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,139 @@
+package mc
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/decoder"
+	"caliqec/internal/dem"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// fingerprint is a 128-bit content hash of a circuit: structure AND noise
+// parameters. Two circuits with identical instruction sequences but
+// different channel probabilities hash differently, so they never share a
+// cached decoding graph.
+type fingerprint [16]byte
+
+// Fingerprint hashes c's full content — dimensions, every instruction's
+// opcode, targets, record references, annotation index, and the float bits
+// of its probability argument (FNV-1a 128).
+func Fingerprint(c *circuit.Circuit) [16]byte {
+	h := fnv.New128a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(c.NumQubits))
+	put(uint64(c.NumMeas))
+	put(uint64(c.NumDetectors))
+	put(uint64(c.NumObs))
+	put(uint64(len(c.Instructions)))
+	for _, in := range c.Instructions {
+		put(uint64(in.Op))
+		put(math.Float64bits(in.Arg))
+		put(uint64(in.Index))
+		put(uint64(len(in.Targets)))
+		for _, t := range in.Targets {
+			put(uint64(t))
+		}
+		put(uint64(len(in.Recs)))
+		for _, r := range in.Recs {
+			put(uint64(r))
+		}
+	}
+	var fp fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// cacheEntry holds everything derivable from one prior circuit: its DEM,
+// the decoding graph, and a pool of reusable decoder instances per kind
+// (decoders carry scratch state, so one instance serves one worker at a
+// time; pooling avoids rebuilding their adjacency scans every chunk).
+type cacheEntry struct {
+	model *dem.Model
+	graph *decoder.Graph
+	pools [2]sync.Pool // indexed by decoder.DecoderKind
+}
+
+func newCacheEntry(prior *circuit.Circuit) (*cacheEntry, error) {
+	model, err := dem.FromCircuit(prior)
+	if err != nil {
+		return nil, fmt.Errorf("mc: extracting DEM: %w", err)
+	}
+	g, err := decoder.BuildGraph(model)
+	if err != nil {
+		return nil, fmt.Errorf("mc: building graph: %w", err)
+	}
+	ent := &cacheEntry{model: model, graph: g}
+	for kind := range ent.pools {
+		k := decoder.DecoderKind(kind)
+		ent.pools[kind].New = func() interface{} { return decoder.New(k, g) }
+	}
+	return ent, nil
+}
+
+func (ent *cacheEntry) getDecoder(kind decoder.DecoderKind) decoder.Decoder {
+	return ent.pools[poolIndex(kind)].Get().(decoder.Decoder)
+}
+
+func (ent *cacheEntry) putDecoder(kind decoder.DecoderKind, dec decoder.Decoder) {
+	ent.pools[poolIndex(kind)].Put(dec)
+}
+
+func poolIndex(kind decoder.DecoderKind) int {
+	if kind == decoder.KindGreedy {
+		return 1
+	}
+	return 0
+}
+
+// entryFor returns the cached DEM+graph for prior, building and inserting
+// it on a miss (LRU eviction beyond the configured size).
+func (e *Engine) entryFor(prior *circuit.Circuit) (*cacheEntry, error) {
+	fp := Fingerprint(prior)
+	e.mu.Lock()
+	if ent, ok := e.cache[fp]; ok {
+		e.hits++
+		e.touch(fp)
+		e.mu.Unlock()
+		return ent, nil
+	}
+	e.misses++
+	e.mu.Unlock()
+
+	// Built outside the lock: concurrent misses on the same circuit may
+	// build twice, but the last insert wins and both results are valid.
+	ent, err := newCacheEntry(prior)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if _, ok := e.cache[fp]; !ok {
+		e.cache[fp] = ent
+		e.order = append(e.order, fp)
+		for len(e.cache) > e.maxEntry {
+			oldest := e.order[0]
+			e.order = e.order[1:]
+			delete(e.cache, oldest)
+		}
+	}
+	ent = e.cache[fp]
+	e.mu.Unlock()
+	return ent, nil
+}
+
+// touch moves fp to the most-recently-used end. Called with e.mu held.
+func (e *Engine) touch(fp fingerprint) {
+	for i, f := range e.order {
+		if f == fp {
+			copy(e.order[i:], e.order[i+1:])
+			e.order[len(e.order)-1] = fp
+			return
+		}
+	}
+}

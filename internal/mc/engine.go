@@ -1,0 +1,360 @@
+// Package mc is the Monte-Carlo logical-error-rate engine: the single
+// entry point through which every experiment, command, example and the
+// public facade in this repository measures LERs.
+//
+// The engine owns the whole sample→decode pipeline — extract a detector
+// error model from the decoder's prior circuit, build the decoding graph,
+// fan Monte-Carlo shots over a worker pool, decode each shot, and count
+// logical failures — and layers three capabilities on top of the raw loop
+// that used to be copy-pasted across internal/decoder:
+//
+//   - Cancellation. Evaluate takes a context.Context and aborts an
+//     in-flight evaluation between 64-shot batches, so long sweeps
+//     (Table 2 fits, repro runs, benchmarks) stop promptly on Ctrl-C or
+//     deadline.
+//   - Caching. DEM extraction and decoding-graph construction are cached
+//     behind a content fingerprint of the prior circuit (instructions and
+//     noise parameters included), so repeated evaluations of the same
+//     circuit — the dominant pattern in internal/exp — pay graph
+//     construction once. Decoder instances are pooled per cached graph.
+//   - Adaptive early stopping. Besides the fixed-shot mode, an evaluation
+//     can stop as soon as a target failure count is reached or the 95%
+//     Wilson interval is narrower than a target width, reporting the shots
+//     actually spent.
+//
+// Determinism: shots are sharded into fixed-size chunks, each seeded by
+// splitting the caller's RNG in chunk order, and early-stop decisions are
+// taken over the in-order prefix of completed chunks. Results are therefore
+// bit-identical for a fixed seed regardless of worker count — a stronger
+// guarantee than the old per-worker sharding, which tied results to the
+// (seed, workers) pair.
+package mc
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/decoder"
+	"caliqec/internal/rng"
+	"caliqec/internal/sim"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// chunkShots is the shot-shard size: the unit of work a worker claims, the
+// granularity of early-stop decisions and of progress reports. A multiple
+// of 64 so every chunk runs whole frame-simulator batches.
+const chunkShots = 1024
+
+// Spec describes one Monte-Carlo LER evaluation.
+type Spec struct {
+	// Circuit is sampled; required.
+	Circuit *circuit.Circuit
+	// Prior, when non-nil, is a circuit with identical structure whose
+	// noise rates reflect what the decoder *believes* (e.g. the last
+	// calibration): the DEM and decoding graph are built from it. This
+	// models decoding with stale priors after drift — the paper's drifted
+	// scenarios run exactly this way. Nil means decode with Circuit's own
+	// rates.
+	Prior *circuit.Circuit
+	// Decoder selects the decoder family (union-find by default).
+	Decoder decoder.DecoderKind
+	// Shots is the Monte-Carlo budget; required. With early stopping
+	// enabled it is the maximum spent.
+	Shots int
+	// Rounds is the number of QEC rounds the circuit contains, used only
+	// to derive the per-round rate; 0 if not applicable.
+	Rounds int
+	// RNG seeds the evaluation; if nil, rng.New(Seed) is used. The
+	// generator is consumed (split once per chunk), so pass a dedicated
+	// generator or a fresh split.
+	RNG *rng.RNG
+	// Seed is used only when RNG is nil.
+	Seed uint64
+	// Workers sets the pool size; ≤ 0 selects GOMAXPROCS. The result does
+	// not depend on it.
+	Workers int
+
+	// TargetFailures, when > 0, stops the evaluation once at least this
+	// many failures have been counted over the committed chunk prefix.
+	TargetFailures int
+	// TargetWilsonWidth, when > 0, stops once the 95% Wilson interval on
+	// the LER is narrower than this.
+	TargetWilsonWidth float64
+	// MinShots, when > 0, is a floor below which early stopping does not
+	// trigger.
+	MinShots int
+
+	// Progress, when non-nil, receives (shots committed, failures so far)
+	// after chunks complete. It may be called concurrently from worker
+	// goroutines and must be fast.
+	Progress func(shots, failures int)
+}
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	decoder.Result
+	// Requested is the shot budget asked for; Shots ≤ Requested when the
+	// evaluation stopped early.
+	Requested int
+	// EarlyStopped reports whether a TargetFailures / TargetWilsonWidth
+	// criterion ended the evaluation before the budget was spent.
+	EarlyStopped bool
+}
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize bounds the number of cached DEM+graph entries (LRU);
+	// ≤ 0 selects the default (64).
+	CacheSize int
+}
+
+// Engine runs Monte-Carlo LER evaluations with a shared DEM/graph cache.
+// The zero value is not usable; construct with New. An Engine is safe for
+// concurrent use.
+type Engine struct {
+	mu       sync.Mutex
+	cache    map[fingerprint]*cacheEntry
+	order    []fingerprint // LRU order, most recent last
+	maxEntry int
+	hits     uint64
+	misses   uint64
+}
+
+// New returns an Engine with the given options.
+func New(opt Options) *Engine {
+	if opt.CacheSize <= 0 {
+		opt.CacheSize = 64
+	}
+	return &Engine{
+		cache:    make(map[fingerprint]*cacheEntry),
+		maxEntry: opt.CacheSize,
+	}
+}
+
+// Default is the process-wide shared engine: package-level Evaluate uses
+// it, so independent call sites (experiments, facade, CLI) share one
+// DEM/graph cache.
+var Default = New(Options{})
+
+// Evaluate runs spec on the Default engine.
+func Evaluate(ctx context.Context, spec Spec) (Result, error) {
+	return Default.Evaluate(ctx, spec)
+}
+
+// CacheStats reports cache hits, misses and current entries.
+func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses, len(e.cache)
+}
+
+// Evaluate samples spec.Shots Monte-Carlo trajectories of spec.Circuit,
+// decodes each with a pooled decoder over the (cached) decoding graph of
+// the prior circuit, and returns the logical error rate. All observables
+// are compared: a shot fails when the predicted observable mask differs
+// from the sampled one in any bit.
+func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
+	if spec.Circuit == nil {
+		return Result{}, fmt.Errorf("mc: nil circuit")
+	}
+	if spec.Shots <= 0 {
+		return Result{}, fmt.Errorf("mc: shots must be positive, got %d", spec.Shots)
+	}
+	if spec.Circuit.NumObs > 64 {
+		return Result{}, fmt.Errorf("mc: %d observables exceed the 64-bit mask limit", spec.Circuit.NumObs)
+	}
+	prior := spec.Prior
+	if prior == nil {
+		prior = spec.Circuit
+	}
+	if spec.Circuit.NumDetectors != prior.NumDetectors || spec.Circuit.NumObs != prior.NumObs {
+		return Result{}, fmt.Errorf("mc: prior circuit structure mismatch (%d/%d detectors, %d/%d observables)",
+			prior.NumDetectors, spec.Circuit.NumDetectors, prior.NumObs, spec.Circuit.NumObs)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	ent, err := e.entryFor(prior)
+	if err != nil {
+		return Result{}, err
+	}
+
+	base := spec.RNG
+	if base == nil {
+		base = rng.New(spec.Seed)
+	}
+	numChunks := (spec.Shots + chunkShots - 1) / chunkShots
+	// Chunk seeds are drawn up front, in chunk order, so the shot stream
+	// assigned to chunk i depends only on the base generator — not on
+	// scheduling or worker count.
+	seeds := make([]*rng.RNG, numChunks)
+	for i := range seeds {
+		seeds[i] = base.Split()
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	type chunkState struct {
+		failures int
+		shots    int
+		done     bool
+	}
+	var (
+		mu        sync.Mutex
+		chunks    = make([]chunkState, numChunks)
+		next      = 0         // next chunk index to claim
+		committed = 0         // chunks [0, committed) are aggregated
+		stopAt    = numChunks // chunks ≥ stopAt are not needed
+		accShots  = 0
+		accFails  = 0
+		stopped   = false // an early-stop criterion fired
+		evalErr   error
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if evalErr != nil || next >= stopAt {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				n := chunkShots
+				if rem := spec.Shots - i*chunkShots; rem < n {
+					n = rem
+				}
+				fails, cerr := runChunk(ctx, spec.Circuit, ent, spec.Decoder, n, seeds[i])
+
+				mu.Lock()
+				if cerr != nil {
+					if evalErr == nil {
+						evalErr = cerr
+					}
+					mu.Unlock()
+					return
+				}
+				chunks[i] = chunkState{failures: fails, shots: n, done: true}
+				// Advance the committed prefix in chunk order and apply the
+				// early-stop criteria at each step: the first prefix that
+				// satisfies them is the same no matter which worker finished
+				// which chunk, which keeps early-stopped results exactly
+				// reproducible for a fixed seed.
+				progressed := false
+				for committed < stopAt && chunks[committed].done {
+					accShots += chunks[committed].shots
+					accFails += chunks[committed].failures
+					committed++
+					progressed = true
+					if spec.stopSatisfied(accShots, accFails) {
+						stopAt = committed
+						stopped = true
+						break
+					}
+				}
+				snapShots, snapFails := accShots, accFails
+				mu.Unlock()
+				if progressed && spec.Progress != nil {
+					spec.Progress(snapShots, snapFails)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if evalErr != nil {
+		return Result{}, evalErr
+	}
+	return Result{
+		Result:       decoder.Summarize(accShots, accFails, spec.Rounds),
+		Requested:    spec.Shots,
+		EarlyStopped: stopped,
+	}, nil
+}
+
+// stopSatisfied reports whether an adaptive criterion ends the evaluation
+// after shots/failures have been committed.
+func (s *Spec) stopSatisfied(shots, failures int) bool {
+	if s.TargetFailures <= 0 && s.TargetWilsonWidth <= 0 {
+		return false
+	}
+	if shots < s.MinShots {
+		return false
+	}
+	if s.TargetFailures > 0 && failures >= s.TargetFailures {
+		return true
+	}
+	if s.TargetWilsonWidth > 0 {
+		lo, hi := rng.WilsonInterval(failures, shots)
+		if hi-lo <= s.TargetWilsonWidth {
+			return true
+		}
+	}
+	return false
+}
+
+// runChunk samples and decodes one shot chunk with its own frame simulator
+// and a pooled decoder, checking ctx between 64-shot batches.
+func runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEntry, kind decoder.DecoderKind, shots int, seed *rng.RNG) (int, error) {
+	dec := ent.getDecoder(kind)
+	defer ent.putDecoder(kind, dec)
+	fs := sim.NewFrameSimulator(c, seed)
+	obsMask := uint64(1)<<uint(c.NumObs) - 1
+	if c.NumObs >= 64 {
+		obsMask = ^uint64(0)
+	}
+	syndrome := make([]int, 0, 64)
+	failures := 0
+	canceled := false
+	fs.SampleWhile(shots, func(b sim.BatchResult) bool {
+		if ctx.Err() != nil {
+			canceled = true
+			return false
+		}
+		failures += countBatchFailures(dec, b, obsMask, &syndrome)
+		return true
+	})
+	if canceled {
+		return 0, ctx.Err()
+	}
+	return failures, nil
+}
+
+// countBatchFailures decodes every shot of one 64-shot batch and counts
+// those whose predicted observable mask misses the sampled one. All
+// observables participate — not just observable 0.
+func countBatchFailures(dec decoder.Decoder, b sim.BatchResult, obsMask uint64, syndrome *[]int) int {
+	failures := 0
+	for s := 0; s < b.Shots; s++ {
+		bit := uint64(1) << uint(s)
+		syn := (*syndrome)[:0]
+		for d, w := range b.Detectors {
+			if w&bit != 0 {
+				syn = append(syn, d)
+			}
+		}
+		*syndrome = syn
+		pred := dec.Decode(syn) & obsMask
+		var actual uint64
+		for o, w := range b.Observables {
+			if w&bit != 0 {
+				actual |= uint64(1) << uint(o)
+			}
+		}
+		if pred != actual {
+			failures++
+		}
+	}
+	return failures
+}

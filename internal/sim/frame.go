@@ -243,6 +243,17 @@ func (fs *FrameSimulator) runBatch(det, obs []uint64) {
 // 64-shot batch with the detector and observable flip words. The final
 // batch may contain fewer than 64 valid shots (BatchResult.Shots).
 func (fs *FrameSimulator) Sample(shots int, visit func(BatchResult)) {
+	fs.SampleWhile(shots, func(b BatchResult) bool {
+		visit(b)
+		return true
+	})
+}
+
+// SampleWhile is Sample with early exit: sampling stops as soon as visit
+// returns false, leaving the remaining batches undrawn. This is what lets
+// internal/mc abort an in-flight evaluation between batches on context
+// cancellation without consuming randomness for work it will discard.
+func (fs *FrameSimulator) SampleWhile(shots int, visit func(BatchResult) bool) {
 	det := make([]uint64, fs.c.NumDetectors)
 	obs := make([]uint64, fs.c.NumObs)
 	for done := 0; done < shots; done += 64 {
@@ -260,14 +271,16 @@ func (fs *FrameSimulator) Sample(shots int, visit func(BatchResult)) {
 				obs[i] &= lowMask
 			}
 		}
-		visit(BatchResult{Detectors: det, Observables: obs, Shots: n})
+		if !visit(BatchResult{Detectors: det, Observables: obs, Shots: n}) {
+			return
+		}
 	}
 }
 
 // CountObservableFlips samples shots trajectories with no decoding and
 // returns, per observable, the number of shots whose raw observable flipped.
 // This measures the *undecoded* physical failure rate and is mostly useful
-// for tests; real experiments decode first (see internal/decoder.Evaluate).
+// for tests; real experiments decode first (see internal/mc.Engine).
 func (fs *FrameSimulator) CountObservableFlips(shots int) []int {
 	counts := make([]int, fs.c.NumObs)
 	fs.Sample(shots, func(b BatchResult) {
