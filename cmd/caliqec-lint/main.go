@@ -1,0 +1,68 @@
+// Command caliqec-lint runs the project's static-analysis rules
+// (internal/analysis) over the repository:
+//
+//	go run ./cmd/caliqec-lint ./...
+//
+// It exits 1 if any rule fires. Violations are suppressed, one line at a
+// time and with a mandatory reason, via
+//
+//	//lint:allow <rule>[,<rule>...] <reason>
+//
+// See DESIGN.md's "Enforced invariants" for what each rule protects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"caliqec/internal/analysis"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: caliqec-lint [-rules] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := analysis.AllRules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(pkgs, rules)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "caliqec-lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caliqec-lint:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@
 //	caliqec schedule     -topology hex -d 5 -ler 1e-3 compilation stage
 //	caliqec run          -d 5 -intervals 4           full in-situ loop
 //	caliqec simulate     -d 3 -p 2e-3 -shots 20000   Monte-Carlo LER
+//	caliqec vet          -d 3                        static IR + deformation-log checks
 //	caliqec instructions                             print Table 1
 package main
 
@@ -42,6 +43,8 @@ func main() {
 		err = cmdRun(args)
 	case "simulate":
 		err = cmdSimulate(args)
+	case "vet":
+		err = cmdVet(args)
 	case "instructions":
 		err = cmdInstructions()
 	default:
@@ -55,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: caliqec <characterize|schedule|run|simulate|instructions> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: caliqec <characterize|schedule|run|simulate|vet|instructions> [flags]`)
 }
 
 func topoFlag(fs *flag.FlagSet) *string {

@@ -1,0 +1,104 @@
+// Package analysis is a small, stdlib-only static-analysis framework plus
+// the project-specific rules that enforce CaliQEC's reproducibility and
+// cancellation contracts at the source level.
+//
+// The repo promises (DESIGN.md, internal/mc) that every result is
+// bit-identical for a fixed seed and that every long-running path honors
+// context.Context. Those are social contracts unless something checks them:
+// one stray math/rand call, a time.Now() in a hot path, or a float ==
+// comparison in LER code silently breaks the paper's Table-2/Fig-13
+// reproductions. The rules here (see AllRules) turn each contract into a
+// build-time error.
+//
+// The framework is deliberately tiny — go/ast + go/parser + go/types, no
+// golang.org/x/tools — so it obeys the repo's no-external-deps rule:
+//
+//   - Load parses and type-checks the module's packages (tolerantly:
+//     unresolved external imports degrade to untyped expressions rather
+//     than failing the load).
+//   - A Rule inspects one package per Pass and reports Diagnostics.
+//   - `//lint:allow <rule>[,<rule>...] <reason>` on, or on the line above,
+//     an offending line suppresses the diagnostic. The reason is
+//     mandatory: an allow comment without one is itself a diagnostic, so
+//     every suppression in the tree documents why the contract is waived.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one rule violation at a source position.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Rule is one named check over a single package.
+type Rule struct {
+	Name string
+	Doc  string // one-line contract statement, shown in -rules output
+	Run  func(*Pass)
+}
+
+// Pass gives a rule access to one loaded package and a reporting sink.
+type Pass struct {
+	Pkg   *Package
+	rule  *Rule
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the running rule at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.rule.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every rule to every package and returns the surviving
+// diagnostics: suppressed ones are dropped, and malformed or unknown
+// suppression comments are reported under the pseudo-rule "lint". The
+// result is sorted by file, line, column, rule for stable output.
+func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
+	known := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		known[r.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, r := range rules {
+			r.Run(&Pass{Pkg: pkg, rule: r, diags: &diags})
+		}
+		allows, allowDiags := collectAllows(pkg, known)
+		out = append(out, allowDiags...)
+		for _, d := range diags {
+			if allows.covers(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgRef resolves x in a qualified identifier x.Sel to the import path of
+// the referenced package, using type information so renamed imports are
+// followed and locally shadowed identifiers are not mistaken for package
+// names. It returns "" when x does not denote a package.
+func pkgRef(p *Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isQualified reports whether e is a reference to pkgPath.sel.
+func isQualified(p *Pass, e ast.Expr, pkgPath, sel string) bool {
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return false
+	}
+	return pkgRef(p, s.X) == pkgPath
+}
+
+// isContextType reports whether the type expression denotes context.Context.
+func isContextType(p *Pass, t ast.Expr) bool {
+	return isQualified(p, t, "context", "Context")
+}
+
+// funcTakesContext reports whether ft has a context.Context parameter and,
+// if so, whether the first parameter is one.
+func funcTakesContext(p *Pass, ft *ast.FuncType) (has, first bool) {
+	if ft.Params == nil {
+		return false, false
+	}
+	for i, f := range ft.Params.List {
+		if isContextType(p, f.Type) {
+			if !has {
+				has, first = true, i == 0
+			}
+		}
+	}
+	return has, first
+}
+
+// fileOf returns the base filename a position belongs to.
+func fileOf(p *Pass, pos ast.Node) string {
+	return p.Pkg.Fset.Position(pos.Pos()).Filename
+}

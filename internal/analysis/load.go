@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked package of the module under analysis.
+type Package struct {
+	Path      string // import path, e.g. "caliqec/internal/mc"
+	Name      string // package clause name
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File // parallel to Filenames; test files are excluded
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+	// Target reports whether the package matched a Load pattern (as
+	// opposed to being pulled in only as a dependency for type
+	// information). Run still analyzes non-target packages' types but the
+	// caller typically filters diagnostics to target packages; Run itself
+	// runs rules on every loaded package, so lint over "./..." sees all.
+	Target bool
+}
+
+// Load parses and type-checks the packages matching patterns, rooted at the
+// module containing dir. Supported patterns: "./..." (every package under
+// the module root) and directory paths relative to dir ("." , "./internal/mc").
+// In-module dependencies of matched packages are loaded too so that
+// cross-package type information is real; imports outside the module
+// (standard library included, when source type-checking it fails) degrade
+// to empty placeholder packages — analysis is tolerant by construction and
+// never fails because of an unresolved external symbol.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := matchDirs(root, dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byPath := map[string]*parsedPkg{}
+	// Parse the pattern-matched packages, then chase in-module imports.
+	queue := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		p, err := parseDir(fset, root, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // no buildable Go files
+		}
+		p.target = true
+		byPath[p.importPath] = p
+		queue = append(queue, p.importPath)
+	}
+	for len(queue) > 0 {
+		ip := queue[0]
+		queue = queue[1:]
+		for _, dep := range byPath[ip].imports {
+			if !inModule(dep, modPath) {
+				continue
+			}
+			if _, ok := byPath[dep]; ok {
+				continue
+			}
+			depDir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(dep, modPath), "/")))
+			p, err := parseDir(fset, root, modPath, depDir)
+			if err != nil {
+				return nil, err
+			}
+			if p == nil {
+				return nil, fmt.Errorf("analysis: import %q has no Go files in %s", dep, depDir)
+			}
+			byPath[p.importPath] = p
+			queue = append(queue, p.importPath)
+		}
+	}
+
+	order, err := topoSort(byPath, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newModuleImporter(fset, modPath)
+	var out []*Package
+	for _, ip := range order {
+		pp := byPath[ip]
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			// Tolerant: record what can be typed, keep going on errors
+			// (missing members of placeholder packages, etc.).
+			Error: func(error) {},
+		}
+		tpkg, _ := conf.Check(ip, fset, pp.files, info)
+		imp.checked[ip] = tpkg
+		out = append(out, &Package{
+			Path:      ip,
+			Name:      pp.name,
+			Dir:       pp.dir,
+			Fset:      fset,
+			Files:     pp.files,
+			Filenames: pp.filenames,
+			Types:     tpkg,
+			Info:      info,
+			Target:    pp.target,
+		})
+	}
+	return out, nil
+}
+
+type parsedPkg struct {
+	importPath string
+	name       string
+	dir        string
+	files      []*ast.File
+	filenames  []string
+	imports    []string
+	target     bool
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					mp := strings.TrimSpace(rest)
+					if unq, err := strconv.Unquote(mp); err == nil {
+						mp = unq
+					}
+					return d, mp, nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func inModule(importPath, modPath string) bool {
+	return importPath == modPath || strings.HasPrefix(importPath, modPath+"/")
+}
+
+// matchDirs expands patterns to candidate package directories.
+func matchDirs(root, base string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			err := filepath.WalkDir(root, func(p string, de os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !de.IsDir() {
+					return nil
+				}
+				name := de.Name()
+				if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				add(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			p := pat
+			if !filepath.IsAbs(p) {
+				p = filepath.Join(base, p)
+			}
+			if fi, err := os.Stat(p); err != nil || !fi.IsDir() {
+				return nil, fmt.Errorf("analysis: pattern %q is not a directory", pat)
+			}
+			add(filepath.Clean(p))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory. It returns nil if
+// the directory contains no buildable Go files.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	ip := modPath
+	if rel != "." {
+		ip = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pp := &parsedPkg{importPath: ip, dir: dir}
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		fn := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if pp.name == "" {
+			pp.name = f.Name.Name
+		}
+		if f.Name.Name != pp.name {
+			// Mixed-package directory (e.g. a main shim next to a library):
+			// keep the majority package by ignoring the stray file.
+			continue
+		}
+		pp.files = append(pp.files, f)
+		pp.filenames = append(pp.filenames, fn)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(pp.files) == 0 {
+		return nil, nil
+	}
+	for p := range importSet {
+		pp.imports = append(pp.imports, p)
+	}
+	sort.Strings(pp.imports)
+	return pp, nil
+}
+
+// topoSort orders packages dependency-first over in-module imports.
+func topoSort(byPath map[string]*parsedPkg, modPath string) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(ip string) error
+	visit = func(ip string) error {
+		switch state[ip] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", ip)
+		case 2:
+			return nil
+		}
+		state[ip] = 1
+		for _, dep := range byPath[ip].imports {
+			if inModule(dep, modPath) {
+				if _, ok := byPath[dep]; ok {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[ip] = 2
+		order = append(order, ip)
+		return nil
+	}
+	paths := make([]string, 0, len(byPath))
+	for ip := range byPath {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves in-module imports to the packages type-checked
+// earlier in topological order, standard-library imports via the source
+// importer when possible, and everything else to an empty placeholder
+// package so that type-checking degrades instead of failing.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	fakes   map[string]*types.Package
+	src     types.ImporterFrom
+	modPath string
+}
+
+// stdImporter source-type-checks GOROOT packages once per process: the
+// importer memoizes every package it checks, so repeated Load calls (the
+// lint CLI loads one module, tests load many fixture modules) share the
+// work. Standard-library positions land in this private FileSet — fine,
+// since diagnostics only ever point into the loaded module.
+var stdImporter = sync.OnceValue(func() types.ImporterFrom {
+	imp, _ := importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
+	return imp
+})
+
+func newModuleImporter(fset *token.FileSet, modPath string) *moduleImporter {
+	return &moduleImporter{
+		checked: map[string]*types.Package{},
+		fakes:   map[string]*types.Package{},
+		modPath: modPath,
+		src:     stdImporter(),
+	}
+}
+
+func (m *moduleImporter) Import(p string) (*types.Package, error) {
+	return m.ImportFrom(p, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(p, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := m.checked[p]; ok && pkg != nil {
+		return pkg, nil
+	}
+	if pkg, ok := m.fakes[p]; ok {
+		return pkg, nil
+	}
+	if m.src != nil && !strings.Contains(p, ".") && !inModule(p, m.modPath) {
+		// Heuristically a GOROOT package (no domain in the path): type-check
+		// it from source so float/struct kinds from std resolve for real.
+		if pkg, err := m.srcImport(p, srcDir); err == nil && pkg != nil {
+			return pkg, nil
+		}
+	}
+	pkg := types.NewPackage(p, path.Base(p))
+	pkg.MarkComplete()
+	m.fakes[p] = pkg
+	return pkg, nil
+}
+
+// srcImport shields the loader from srcimporter panics (it can panic on
+// exotic build configurations); failures fall back to a placeholder.
+func (m *moduleImporter) srcImport(p, srcDir string) (pkg *types.Package, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pkg, err = nil, fmt.Errorf("source import of %s panicked: %v", p, r)
+		}
+	}()
+	return m.src.ImportFrom(p, srcDir, 0)
+}

@@ -1,0 +1,577 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"caliqec/internal/analysis"
+)
+
+// Fixture modules are written to a temp dir with their own go.mod so each
+// test exercises the real Load path: module discovery, "./..." matching,
+// in-module import chasing, and tolerant type-checking.
+const goMod = "module fixture\n\ngo 1.22\n"
+
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(goMod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		fn := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(fn), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fn, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func lint(t *testing.T, files map[string]string, rules ...*analysis.Rule) []analysis.Diagnostic {
+	t.Helper()
+	pkgs, err := analysis.Load(writeFixture(t, files), "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(rules) == 0 {
+		rules = analysis.AllRules()
+	}
+	return analysis.Run(pkgs, rules)
+}
+
+// wantCounts asserts the exact multiset of rule names in diags.
+func wantCounts(t *testing.T, diags []analysis.Diagnostic, want map[string]int) {
+	t.Helper()
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Rule]++
+	}
+	for r, n := range want {
+		if got[r] != n {
+			t.Errorf("rule %s: got %d diagnostic(s), want %d\nall: %v", r, got[r], n, diags)
+		}
+	}
+	for r, n := range got {
+		if want[r] == 0 {
+			t.Errorf("unexpected %d %s diagnostic(s): %v", n, r, diags)
+		}
+	}
+}
+
+func TestNakedRand(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"fires on math/rand import",
+			map[string]string{"a/a.go": `package a
+
+import "math/rand"
+
+func X() int { return rand.Int() }
+`},
+			map[string]int{"nakedrand": 1},
+		},
+		{
+			"fires on blank and v2 imports",
+			map[string]string{"a/a.go": `package a
+
+import (
+	_ "math/rand"
+	"math/rand/v2"
+)
+
+func X() int { return rand.Int() }
+`},
+			map[string]int{"nakedrand": 2},
+		},
+		{
+			"silent inside internal/rng",
+			map[string]string{"internal/rng/r.go": `package rng
+
+import "math/rand"
+
+func X() int { return rand.Int() }
+`},
+			nil,
+		},
+		{
+			"silent on crypto/rand",
+			map[string]string{"a/a.go": `package a
+
+import "crypto/rand"
+
+var _ = rand.Read
+`},
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.NakedRand()), tc.want)
+		})
+	}
+}
+
+func TestTimeNow(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		allow []string
+		want  map[string]int
+	}{
+		{
+			"fires on Now, Since and Until in a library package",
+			map[string]string{"a/a.go": `package a
+
+import "time"
+
+func X() float64 {
+	t0 := time.Now()
+	_ = time.Until(t0)
+	return time.Since(t0).Seconds()
+}
+`},
+			nil,
+			map[string]int{"timenow": 3},
+		},
+		{
+			"fires through a renamed import",
+			map[string]string{"a/a.go": `package a
+
+import tm "time"
+
+func X() tm.Time { return tm.Now() }
+`},
+			nil,
+			map[string]int{"timenow": 1},
+		},
+		{
+			"silent in package main",
+			map[string]string{"cmd/x/main.go": `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`},
+			nil,
+			nil,
+		},
+		{
+			"silent in an allowed timing file",
+			map[string]string{"a/clock.go": `package a
+
+import "time"
+
+func X() time.Time { return time.Now() }
+`},
+			[]string{"clock.go"},
+			map[string]int{},
+		},
+		{
+			"silent on a non-time Now",
+			map[string]string{"a/a.go": `package a
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func X() int { return clock{}.Now() }
+`},
+			nil,
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.TimeNow(tc.allow...)), tc.want)
+		})
+	}
+}
+
+func TestFloatEq(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"fires on float64 == and !=",
+			map[string]string{"a/a.go": `package a
+
+func X(a, b float64) bool { return a == b || a != 0.0 }
+`},
+			map[string]int{"floateq": 2},
+		},
+		{
+			"fires on float32 and named float types",
+			map[string]string{"a/a.go": `package a
+
+type Prob float64
+
+func X(p, q Prob, f, g float32) bool { return p == q || f == g }
+`},
+			map[string]int{"floateq": 2},
+		},
+		{
+			"silent on integer equality and float ordering",
+			map[string]string{"a/a.go": `package a
+
+func X(i, j int, a, b float64) bool { return i == j || a < b }
+`},
+			nil,
+		},
+		{
+			"silent on stdlib integer-backed types",
+			map[string]string{"a/a.go": `package a
+
+import "time"
+
+func X(d time.Duration) bool { return d == 0 }
+`},
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.FloatEq()), tc.want)
+		})
+	}
+}
+
+func TestCtxFirst(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"fires when context is not the first parameter",
+			map[string]string{"a/a.go": `package a
+
+import "context"
+
+func X(n int, ctx context.Context) error { return ctx.Err() }
+`},
+			map[string]int{"ctxfirst": 1},
+		},
+		{
+			"fires on methods and interface methods",
+			map[string]string{"a/a.go": `package a
+
+import "context"
+
+type T struct{}
+
+func (T) M(n int, ctx context.Context) error { return ctx.Err() }
+
+type I interface {
+	N(n int, ctx context.Context) error
+}
+`},
+			map[string]int{"ctxfirst": 2},
+		},
+		{
+			"fires on a context stored in a struct",
+			map[string]string{"a/a.go": `package a
+
+import "context"
+
+type T struct {
+	ctx context.Context
+	n   int
+}
+`},
+			map[string]int{"ctxfirst": 1},
+		},
+		{
+			"silent when context comes first",
+			map[string]string{"a/a.go": `package a
+
+import "context"
+
+func X(ctx context.Context, n int) error { return ctx.Err() }
+
+func Y() {}
+`},
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.CtxFirst()), tc.want)
+		})
+	}
+}
+
+func TestPanicPolicy(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"fires on panic in a library package",
+			map[string]string{"a/a.go": `package a
+
+func X(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+`},
+			map[string]int{"panicpolicy": 1},
+		},
+		{
+			"silent in package main",
+			map[string]string{"cmd/x/main.go": `package main
+
+func main() { panic("boom") }
+`},
+			nil,
+		},
+		{
+			"silent in internal/circuit's builder",
+			map[string]string{"internal/circuit/builder.go": `package circuit
+
+func X() { panic("misuse") }
+`},
+			nil,
+		},
+		{
+			"fires elsewhere in internal/circuit",
+			map[string]string{"internal/circuit/circuit.go": `package circuit
+
+func X() { panic("misuse") }
+`},
+			map[string]int{"panicpolicy": 1},
+		},
+		{
+			"silent when panic is shadowed",
+			map[string]string{"a/a.go": `package a
+
+func X() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+`},
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.PanicPolicy()), tc.want)
+		})
+	}
+}
+
+func TestBareLoop(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"fires on an exported function launching a goroutine without context",
+			map[string]string{"a/a.go": `package a
+
+func X() {
+	go func() {}()
+}
+`},
+			map[string]int{"bareloop": 1},
+		},
+		{
+			"fires on an exported method of an exported type",
+			map[string]string{"a/a.go": `package a
+
+type T struct{}
+
+func (t *T) Run() {
+	go func() {}()
+}
+`},
+			map[string]int{"bareloop": 1},
+		},
+		{
+			"silent when the function takes a context",
+			map[string]string{"a/a.go": `package a
+
+import "context"
+
+func X(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+`},
+			nil,
+		},
+		{
+			"silent on unexported functions and unexported receivers",
+			map[string]string{"a/a.go": `package a
+
+type t struct{}
+
+func (t) Run() { go func() {}() }
+
+func x() { go func() {}() }
+`},
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.BareLoop()), tc.want)
+		})
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"same-line allow suppresses",
+			map[string]string{"a/a.go": `package a
+
+func X(a, b float64) bool {
+	return a == b //lint:allow floateq exact sentinel documented here
+}
+`},
+			nil,
+		},
+		{
+			"previous-line allow suppresses",
+			map[string]string{"a/a.go": `package a
+
+func X(a, b float64) bool {
+	//lint:allow floateq exact sentinel documented here
+	return a == b
+}
+`},
+			nil,
+		},
+		{
+			"allow two lines above does not suppress",
+			map[string]string{"a/a.go": `package a
+
+func X(a, b float64) bool {
+	//lint:allow floateq too far away
+
+	return a == b
+}
+`},
+			map[string]int{"floateq": 1},
+		},
+		{
+			"comma list covers several rules on one line",
+			map[string]string{"a/a.go": `package a
+
+import "time"
+
+func X(a float64) bool {
+	//lint:allow floateq,timenow startup stamp compared exactly
+	return a == float64(time.Now().Unix())
+}
+`},
+			nil,
+		},
+		{
+			"allow without a reason is itself reported",
+			map[string]string{"a/a.go": `package a
+
+func X(a, b float64) bool {
+	return a == b //lint:allow floateq
+}
+`},
+			// A reason-less allow is invalid, so it does not suppress: both
+			// the malformed comment and the original violation surface.
+			map[string]int{"lint": 1, "floateq": 1},
+		},
+		{
+			"allow naming an unknown rule is reported",
+			map[string]string{"a/a.go": `package a
+
+//lint:allow nosuchrule because reasons
+func X() {}
+`},
+			map[string]int{"lint": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files), tc.want)
+		})
+	}
+}
+
+// TestCrossPackageTypes proves the loader feeds real type information across
+// in-module package boundaries: a named float type defined in one package
+// must trigger floateq when compared in another.
+func TestCrossPackageTypes(t *testing.T) {
+	diags := lint(t, map[string]string{
+		"prob/prob.go": `package prob
+
+type P float64
+`,
+		"use/use.go": `package use
+
+import "fixture/prob"
+
+func Same(a, b prob.P) bool { return a == b }
+`,
+	}, analysis.FloatEq())
+	wantCounts(t, diags, map[string]int{"floateq": 1})
+	if len(diags) == 1 && !strings.Contains(diags[0].Pos.Filename, "use.go") {
+		t.Errorf("diagnostic in %s, want use.go", diags[0].Pos.Filename)
+	}
+}
+
+func TestAllRulesNamedAndDocumented(t *testing.T) {
+	rules := analysis.AllRules()
+	if len(rules) < 6 {
+		t.Fatalf("AllRules returned %d rules, want >= 6", len(rules))
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if r.Name == "" || r.Doc == "" || r.Run == nil {
+			t.Errorf("rule %+v missing name, doc or run", r)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}
+
+// TestDiagnosticsSorted checks Run's stable output order across files.
+func TestDiagnosticsSorted(t *testing.T) {
+	diags := lint(t, map[string]string{
+		"b/b.go": `package b
+
+func X(a, b float64) bool { return a == b }
+`,
+		"a/a.go": `package a
+
+func Y(a, b float64) bool { return a != b && a == 0 }
+`,
+	}, analysis.FloatEq())
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		p, q := diags[i-1].Pos, diags[i].Pos
+		if p.Filename > q.Filename || (p.Filename == q.Filename && p.Line > q.Line) ||
+			(p.Filename == q.Filename && p.Line == q.Line && p.Column > q.Column) {
+			t.Errorf("diagnostics out of order: %v before %v", diags[i-1], diags[i])
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//lint:allow rule1[,rule2...] reason text
+//
+// and waive the named rules for diagnostics on the comment's own line or
+// on the line immediately below it (so both trailing comments and
+// comments-above-the-statement work). The reason is mandatory: an allow
+// without one does not suppress anything and is reported itself, which
+// keeps every waiver in the tree documented.
+
+const allowPrefix = "lint:allow"
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+type allowSet struct {
+	rules map[lineKey]map[string]bool
+}
+
+func (a allowSet) covers(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if rs, ok := a.rules[lineKey{d.Pos.Filename, line}]; ok && rs[d.Rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans a package's comments for lint:allow directives.
+// known guards against typo'd rule names: allowing a rule no analyzer
+// implements is reported rather than silently ignored.
+func collectAllows(pkg *Package, known map[string]bool) (allowSet, []Diagnostic) {
+	out := allowSet{rules: map[lineKey]map[string]bool{}}
+	var diags []Diagnostic
+	report := func(pos lineKey, msg string) {
+		diags = append(diags, Diagnostic{
+			Rule:    "lint",
+			Pos:     token.Position{Filename: pos.file, Line: pos.line, Column: 1},
+			Message: msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(key, "lint:allow needs a rule name and a reason")
+					continue
+				}
+				if len(fields) < 2 {
+					report(key, "lint:allow "+fields[0]+" needs a reason explaining why the contract is waived")
+					continue
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					rule = strings.TrimSpace(rule)
+					if rule == "" {
+						continue
+					}
+					if !known[rule] {
+						report(key, "lint:allow names unknown rule "+rule)
+						continue
+					}
+					if out.rules[key] == nil {
+						out.rules[key] = map[string]bool{}
+					}
+					out.rules[key][rule] = true
+				}
+			}
+		}
+	}
+	return out, diags
+}

@@ -24,7 +24,7 @@ type Vec struct {
 // NewVec returns an all-zero vector of length n.
 func NewVec(n int) *Vec {
 	if n < 0 {
-		panic("bitvec: negative length")
+		panic("bitvec: negative length") //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	return &Vec{n: n, words: make([]uint64, (n+63)/64)}
 }
@@ -56,14 +56,14 @@ func (v *Vec) Flip(i int) {
 
 func (v *Vec) check(i int) {
 	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n)) //lint:allow panicpolicy index misuse mirrors built-in slice panic semantics
 	}
 }
 
 // Xor sets v ^= o. Lengths must match.
 func (v *Vec) Xor(o *Vec) {
 	if v.n != o.n {
-		panic("bitvec: Xor length mismatch")
+		panic("bitvec: Xor length mismatch") //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	for i := range v.words {
 		v.words[i] ^= o.words[i]
@@ -73,7 +73,7 @@ func (v *Vec) Xor(o *Vec) {
 // And sets v &= o. Lengths must match.
 func (v *Vec) And(o *Vec) {
 	if v.n != o.n {
-		panic("bitvec: And length mismatch")
+		panic("bitvec: And length mismatch") //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	for i := range v.words {
 		v.words[i] &= o.words[i]
@@ -92,7 +92,7 @@ func (v *Vec) PopCount() int {
 // Dot returns the GF(2) inner product <v, o> (parity of the AND).
 func (v *Vec) Dot(o *Vec) bool {
 	if v.n != o.n {
-		panic("bitvec: Dot length mismatch")
+		panic("bitvec: Dot length mismatch") //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	var acc uint64
 	for i := range v.words {

@@ -26,7 +26,7 @@ func FromRows(rows []*Vec) *Matrix {
 	c := rows[0].Len()
 	for _, r := range rows {
 		if r.Len() != c {
-			panic("bitvec: FromRows ragged input")
+			panic("bitvec: FromRows ragged input") //lint:allow panicpolicy ragged input is API misuse, mirrors slice panic semantics
 		}
 	}
 	return &Matrix{rows: len(rows), cols: c, data: rows}
@@ -97,7 +97,7 @@ func (m *Matrix) rowReduce() (pivots []int, rank int) {
 // to check that a candidate logical operator is or is not a stabilizer.
 func (m *Matrix) InRowSpace(v *Vec) bool {
 	if v.Len() != m.cols {
-		panic("bitvec: InRowSpace length mismatch")
+		panic("bitvec: InRowSpace length mismatch") //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	c := m.Clone()
 	pivots, rank := c.rowReduce()
@@ -114,7 +114,7 @@ func (m *Matrix) InRowSpace(v *Vec) bool {
 // (x, true) on success or (nil, false) if the system is inconsistent.
 func (m *Matrix) Solve(b *Vec) (*Vec, bool) {
 	if b.Len() != m.rows {
-		panic(fmt.Sprintf("bitvec: Solve rhs length %d != rows %d", b.Len(), m.rows))
+		panic(fmt.Sprintf("bitvec: Solve rhs length %d != rows %d", b.Len(), m.rows)) //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	// Build augmented matrix [m | b] and eliminate.
 	aug := NewMatrix(m.rows, m.cols+1)
@@ -164,7 +164,7 @@ func (m *Matrix) NullspaceBasis() []*Vec {
 // MulVec returns m·x over GF(2) (length = rows).
 func (m *Matrix) MulVec(x *Vec) *Vec {
 	if x.Len() != m.cols {
-		panic("bitvec: MulVec length mismatch")
+		panic("bitvec: MulVec length mismatch") //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	out := NewVec(m.rows)
 	for i := 0; i < m.rows; i++ {

@@ -196,7 +196,7 @@ func Characterize(dev *device.Device, opt Options, r *rng.RNG) *Characterization
 	if opt.HorizonHours == 0 {
 		opt.HorizonHours = 12
 	}
-	if opt.CaliTimingJitter == 0 {
+	if opt.CaliTimingJitter == 0 { //lint:allow floateq the zero value means "unset", an exact sentinel never produced by arithmetic
 		opt.CaliTimingJitter = 0.05
 	}
 	out := &Characterization{}

@@ -1,7 +1,5 @@
 package circuit
 
-import "fmt"
-
 // Builder incrementally assembles a Circuit. It tracks the measurement
 // record so callers can reference measurements by relative offset (Stim's
 // rec[-k] convention) and have them resolved to absolute indices.
@@ -145,13 +143,11 @@ func (b *Builder) YError(p float64, qubits ...int) {
 }
 
 // Detector appends a detector over absolute measurement record indices and
-// returns the detector's index.
+// returns the detector's index. Out-of-range record references are not
+// checked here: they surface as a deferred error from Validate (via Finish),
+// so tools like `caliqec vet` can report a bad circuit instead of crashing
+// mid-construction.
 func (b *Builder) Detector(recs ...int) int {
-	for _, r := range recs {
-		if r < 0 || r >= b.c.NumMeas {
-			panic(fmt.Sprintf("circuit: detector rec %d out of range [0,%d)", r, b.c.NumMeas))
-		}
-	}
 	idx := b.c.NumDetectors
 	b.push(Instruction{Op: OpDetector, Recs: append([]int(nil), recs...), Index: idx})
 	b.c.NumDetectors++
@@ -159,26 +155,21 @@ func (b *Builder) Detector(recs ...int) int {
 }
 
 // DetectorRel appends a detector over relative lookback offsets, where -1 is
-// the most recent measurement (Stim's rec[-1]).
+// the most recent measurement (Stim's rec[-1]). A non-negative offset
+// resolves to a record index at or beyond the current record and is
+// reported by Validate.
 func (b *Builder) DetectorRel(offsets ...int) int {
 	recs := make([]int, len(offsets))
 	for i, o := range offsets {
-		if o >= 0 {
-			panic("circuit: DetectorRel offsets must be negative")
-		}
 		recs[i] = b.c.NumMeas + o
 	}
 	return b.Detector(recs...)
 }
 
 // Observable includes measurement record bits into logical observable obs.
-// Repeated calls with the same obs accumulate (XOR) more record bits.
+// Repeated calls with the same obs accumulate (XOR) more record bits. As
+// with Detector, bad record references are deferred to Validate.
 func (b *Builder) Observable(obs int, recs ...int) {
-	for _, r := range recs {
-		if r < 0 || r >= b.c.NumMeas {
-			panic(fmt.Sprintf("circuit: observable rec %d out of range [0,%d)", r, b.c.NumMeas))
-		}
-	}
 	if obs >= b.c.NumObs {
 		b.c.NumObs = obs + 1
 	}
@@ -197,14 +188,28 @@ func (b *Builder) Repeat(n int, body func(round int)) {
 	}
 }
 
-// Build finalizes and returns the circuit. The builder must not be used
-// afterwards. Build panics if the assembled circuit fails validation, since
-// that always indicates a code-generation bug rather than bad user input.
-func (b *Builder) Build() *Circuit {
+// Finish finalizes the circuit and returns it along with any validation
+// error. The builder must not be used afterwards. This is the entry point
+// for tooling (`caliqec vet`) that wants to report a malformed circuit —
+// including detector/observable record references accumulated as deferred
+// errors — rather than crash.
+func (b *Builder) Finish() (*Circuit, error) {
 	c := b.c
 	b.c = Circuit{}
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Build finalizes and returns the circuit. The builder must not be used
+// afterwards. Build panics if the assembled circuit fails validation, since
+// in generation code that always indicates a code-generation bug rather
+// than bad user input; use Finish to get the error instead.
+func (b *Builder) Build() *Circuit {
+	c, err := b.Finish()
+	if err != nil {
 		panic(err)
 	}
-	return &c
+	return c
 }

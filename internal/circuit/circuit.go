@@ -12,6 +12,7 @@ package circuit
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -96,7 +97,7 @@ type Instruction struct {
 func (in Instruction) String() string {
 	var sb strings.Builder
 	sb.WriteString(in.Op.String())
-	if in.Arg != 0 {
+	if in.Arg != 0 { //lint:allow floateq rendering elides an Arg that is exactly the zero value, never computed
 		fmt.Fprintf(&sb, "(%g)", in.Arg)
 	}
 	switch in.Op {
@@ -148,9 +149,16 @@ func (c *Circuit) CountOps(op OpCode) int {
 
 // Validate checks structural invariants: target indices in range, two-qubit
 // target lists of even length with distinct qubits per pair, record indices
-// in range and increasing detector/observable bookkeeping.
+// in range, every noise probability a number in [0,1], and deterministic
+// detector/observable bookkeeping — detector indices dense and in emission
+// order, observable indices within NumObs, and no annotation referencing
+// the same record bit twice (a duplicate XORs itself away, silently
+// decoupling the detector from that measurement). `caliqec vet` reports
+// these statically, before any simulation runs.
 func (c *Circuit) Validate() error {
 	meas := 0
+	nextDet := 0
+	maxObs := -1
 	for i, in := range c.Instructions {
 		for _, t := range in.Targets {
 			if t < 0 || t >= c.NumQubits {
@@ -171,20 +179,44 @@ func (c *Circuit) Validate() error {
 		case OpM, OpMX:
 			meas += len(in.Targets)
 		case OpDetector, OpObservable:
+			seen := make(map[int]bool, len(in.Recs))
 			for _, r := range in.Recs {
 				if r < 0 || r >= meas {
 					return fmt.Errorf("circuit: instr %d (%s): rec %d out of range [0,%d)", i, in.Op, r, meas)
 				}
+				if seen[r] {
+					return fmt.Errorf("circuit: instr %d (%s): rec %d referenced twice; the duplicate cancels under XOR", i, in.Op, r)
+				}
+				seen[r] = true
+			}
+			if in.Op == OpDetector {
+				if in.Index != nextDet {
+					return fmt.Errorf("circuit: instr %d: detector index %d, want %d (indices must be dense and in emission order)", i, in.Index, nextDet)
+				}
+				nextDet++
+			} else {
+				if in.Index < 0 {
+					return fmt.Errorf("circuit: instr %d: negative observable index %d", i, in.Index)
+				}
+				if in.Index > maxObs {
+					maxObs = in.Index
+				}
 			}
 		}
 		if in.Op.IsNoise() || in.Op == OpM || in.Op == OpMX || in.Op == OpReset || in.Op == OpResetX {
-			if in.Arg < 0 || in.Arg > 1 {
+			if math.IsNaN(in.Arg) || in.Arg < 0 || in.Arg > 1 {
 				return fmt.Errorf("circuit: instr %d (%s): probability %g out of [0,1]", i, in.Op, in.Arg)
 			}
 		}
 	}
 	if meas != c.NumMeas {
 		return fmt.Errorf("circuit: recorded %d measurements but NumMeas=%d", meas, c.NumMeas)
+	}
+	if nextDet != c.NumDetectors {
+		return fmt.Errorf("circuit: %d detectors emitted but NumDetectors=%d", nextDet, c.NumDetectors)
+	}
+	if maxObs >= c.NumObs {
+		return fmt.Errorf("circuit: observable index %d but NumObs=%d", maxObs, c.NumObs)
 	}
 	return nil
 }

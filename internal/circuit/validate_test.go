@@ -1,0 +1,129 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mustContain asserts err is non-nil and mentions substr.
+func mustContain(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("got nil error, want one containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestFinishValidCircuit(t *testing.T) {
+	b := NewBuilder(2)
+	b.Reset(0.01, 0, 1)
+	recs := b.M(0.02, 0, 1)
+	b.Detector(recs[0])
+	b.DetectorRel(-1)
+	b.Observable(0, recs[0], recs[1])
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if c.NumDetectors != 2 || c.NumObs != 1 || c.NumMeas != 2 {
+		t.Errorf("counts: detectors=%d obs=%d meas=%d, want 2/1/2", c.NumDetectors, c.NumObs, c.NumMeas)
+	}
+}
+
+// Detector/Observable no longer panic on bad record references: the error is
+// deferred to Validate so tooling (`caliqec vet`) can report it.
+func TestFinishReportsBadDetectorRec(t *testing.T) {
+	b := NewBuilder(1)
+	b.M(0, 0)
+	b.Detector(5) // only rec 0 exists
+	_, err := b.Finish()
+	mustContain(t, err, "rec 5 out of range")
+}
+
+func TestFinishReportsNonNegativeRelOffset(t *testing.T) {
+	b := NewBuilder(1)
+	b.M(0, 0)
+	b.DetectorRel(0) // rec[-1] is the last measurement; 0 is at-or-beyond the record
+	_, err := b.Finish()
+	mustContain(t, err, "out of range")
+}
+
+func TestFinishReportsBadObservableRec(t *testing.T) {
+	b := NewBuilder(1)
+	b.M(0, 0)
+	b.Observable(0, 7)
+	_, err := b.Finish()
+	mustContain(t, err, "rec 7 out of range")
+}
+
+func TestValidateDuplicateRec(t *testing.T) {
+	b := NewBuilder(1)
+	b.M(0, 0)
+	b.Detector(0, 0) // the duplicate XORs itself away
+	_, err := b.Finish()
+	mustContain(t, err, "referenced twice")
+}
+
+func TestValidateDetectorIndexOrder(t *testing.T) {
+	b := NewBuilder(1)
+	b.M(0, 0)
+	b.DetectorRel(-1)
+	b.DetectorRel(-1)
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// Swap the two detector indices: emission order no longer matches.
+	for i := range c.Instructions {
+		if c.Instructions[i].Op == OpDetector {
+			c.Instructions[i].Index = 1 - c.Instructions[i].Index
+		}
+	}
+	mustContain(t, c.Validate(), "dense and in emission order")
+}
+
+func TestValidateProbabilityRange(t *testing.T) {
+	b := NewBuilder(1)
+	b.M(1.5, 0)
+	_, err := b.Finish()
+	mustContain(t, err, "probability 1.5 out of [0,1]")
+
+	b = NewBuilder(1)
+	b.M(math.NaN(), 0)
+	_, err = b.Finish()
+	mustContain(t, err, "out of [0,1]")
+
+	b = NewBuilder(1)
+	b.Reset(-0.25, 0)
+	_, err = b.Finish()
+	mustContain(t, err, "out of [0,1]")
+}
+
+func TestValidateObservableBounds(t *testing.T) {
+	c := &Circuit{
+		NumQubits: 1, NumMeas: 1, NumObs: 1,
+		Instructions: []Instruction{
+			{Op: OpM, Targets: []int{0}},
+			{Op: OpObservable, Recs: []int{0}, Index: -2},
+		},
+	}
+	mustContain(t, c.Validate(), "negative observable index")
+
+	c.Instructions[1].Index = 3 // NumObs says only observable 0 exists
+	mustContain(t, c.Validate(), "observable index 3 but NumObs=1")
+}
+
+func TestBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build should panic on a circuit that fails validation")
+		}
+	}()
+	b := NewBuilder(1)
+	b.M(0, 0)
+	b.Detector(9)
+	b.Build()
+}

@@ -137,7 +137,7 @@ func (p *Patch) BruteDistance(basis lattice.Basis) int {
 		}
 	}
 	if nd > 30 {
-		panic("code: BruteDistance limited to ≤ 30 data qubits")
+		panic("code: BruteDistance limited to ≤ 30 data qubits") //lint:allow panicpolicy documented capacity limit; exceeding it is a programming error
 	}
 	best := nd + 1
 	// Enumerate subsets by increasing popcount using Gosper's hack per

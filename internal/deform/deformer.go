@@ -24,6 +24,13 @@ type Deformer struct {
 	Log   []LogEntry
 	// Records mirrors Log with the outcome of each instruction.
 	Records []Record
+	// History is the append-only audit trail of every instruction ever
+	// issued, including OpReintegrate markers that Log drops when it is
+	// replayed. Unlike Log it is never rewritten by rebuilds, so
+	// VerifyLog can statically check a whole deformation session for
+	// legality (double isolation, dangling reintegrates, ops illegal on
+	// the lattice kind) without running the simulator.
+	History []LogEntry
 }
 
 // NewDeformer wraps a pristine patch.
@@ -53,7 +60,9 @@ func (d *Deformer) ApplyQubit(op Op, q int, tag string) (*Record, error) {
 		return nil, err
 	}
 	qb := d.Patch.Lat.Qubit(q)
-	d.Log = append(d.Log, LogEntry{Op: op, Row: qb.Row, Col: qb.Col, Tag: tag})
+	e := LogEntry{Op: op, Row: qb.Row, Col: qb.Col, Tag: tag}
+	d.Log = append(d.Log, e)
+	d.History = append(d.History, e)
 	d.Records = append(d.Records, *rec)
 	return rec, nil
 }
@@ -121,7 +130,11 @@ func (d *Deformer) Reintegrate(tag string) error {
 	if !found {
 		return fmt.Errorf("deform: no instructions tagged %q", tag)
 	}
-	return d.rebuild(d.Patch.Lat.Rows, d.Patch.Lat.Cols, keep)
+	if err := d.rebuild(d.Patch.Lat.Rows, d.Patch.Lat.Cols, keep); err != nil {
+		return err
+	}
+	d.History = append(d.History, LogEntry{Op: OpReintegrate, Row: -1, Col: -1, Tag: tag})
+	return nil
 }
 
 // Enlarge applies PatchQ_AD along one dimension: the patch grows by two
@@ -139,6 +152,7 @@ func (d *Deformer) Enlarge(growRows bool) error {
 		return err
 	}
 	d.Log = append(d.Log, LogEntry{Op: PatchQAD, Row: -1, Col: -1})
+	d.History = append(d.History, LogEntry{Op: PatchQAD, Row: -1, Col: -1})
 	d.Records = append(d.Records, Record{
 		Op: PatchQAD, Target: -1,
 		DistanceX: d.Patch.Distance(lattice.BasisX),
@@ -177,7 +191,13 @@ func (d *Deformer) Shrink(shrinkRows bool) error {
 			break
 		}
 	}
-	return d.rebuild(rows, cols, log)
+	if err := d.rebuild(rows, cols, log); err != nil {
+		return err
+	}
+	// Patch-level removal marker: Row/Col -1 means "boundary rows/cols",
+	// not a single coordinate.
+	d.History = append(d.History, LogEntry{Op: PatchQRM, Row: -1, Col: -1})
+	return nil
 }
 
 // rebuild reconstructs the patch at the given size and replays log.

@@ -1,0 +1,147 @@
+package deform
+
+import (
+	"fmt"
+	"sort"
+
+	"caliqec/internal/lattice"
+)
+
+// OpReintegrate is the pseudo-instruction a Deformer appends to History
+// when a tagged group of isolations is reversed. It is not part of the
+// paper's Table 1 instruction set (reintegration is the undo of RM
+// instructions, not an instruction itself), so it is legal on every
+// lattice kind but only meaningful in audit logs.
+const OpReintegrate Op = "Reintegrate"
+
+// IssueKind classifies a static log-legality violation.
+type IssueKind uint8
+
+// Issue kinds found by VerifyLog.
+const (
+	// IllegalOp: the instruction is not in the lattice kind's instruction
+	// set (paper Table 1) — e.g. SyndromeQ_RM on a heavy hexagon.
+	IllegalOp IssueKind = iota
+	// DoubleIsolate: a removal targets a coordinate that an earlier,
+	// not-yet-reintegrated instruction already took out of the code.
+	DoubleIsolate
+	// DanglingReintegrate: a reintegrate names a tag with no live
+	// isolations.
+	DanglingReintegrate
+	// UnmatchedIsolate: the log ends with the coordinate still isolated —
+	// its tag is never reintegrated. For a log that is supposed to
+	// describe a completed calibration session this means qubits were
+	// left out of the code.
+	UnmatchedIsolate
+)
+
+func (k IssueKind) String() string {
+	switch k {
+	case IllegalOp:
+		return "illegal-op"
+	case DoubleIsolate:
+		return "double-isolate"
+	case DanglingReintegrate:
+		return "dangling-reintegrate"
+	case UnmatchedIsolate:
+		return "unmatched-isolate"
+	}
+	return fmt.Sprintf("IssueKind(%d)", uint8(k))
+}
+
+// Issue is one legality violation in a deformation log.
+type Issue struct {
+	Kind  IssueKind
+	Index int      // index into the verified log, -1 for end-of-log issues
+	Entry LogEntry // the offending entry
+	Msg   string
+}
+
+func (i Issue) String() string {
+	if i.Index < 0 {
+		return fmt.Sprintf("end of log: %s: %s", i.Kind, i.Msg)
+	}
+	return fmt.Sprintf("entry %d (%s): %s: %s", i.Index, i.Entry.Op, i.Kind, i.Msg)
+}
+
+// VerifyLog statically checks a deformation instruction log — typically a
+// Deformer's History — for legality against a lattice kind, without
+// touching a patch or running the simulator:
+//
+//   - every opcode must be in InstructionSet(kind) (or OpReintegrate);
+//   - no instruction may remove a coordinate that is already isolated and
+//     not yet reintegrated (the runtime refuses this too, but only when it
+//     happens; here a planned log is checked up front);
+//   - every reintegrate must name a tag with at least one live isolation;
+//   - a completed log must leave no isolation live (every isolate's tag is
+//     eventually reintegrated).
+//
+// Issues are returned in log order, end-of-log issues last. An empty
+// result means the log is legal.
+func VerifyLog(kind lattice.Kind, log []LogEntry) []Issue {
+	legal := map[Op]bool{OpReintegrate: true}
+	for _, op := range InstructionSet(kind) {
+		legal[op] = true
+	}
+	type coord struct{ row, col int }
+	live := map[coord]int{} // isolated coordinate -> log index of its removal
+	var issues []Issue
+	for i, e := range log {
+		if !legal[e.Op] {
+			issues = append(issues, Issue{
+				Kind: IllegalOp, Index: i, Entry: e,
+				Msg: fmt.Sprintf("%s is not in the %v instruction set", e.Op, kind),
+			})
+			continue
+		}
+		switch e.Op {
+		case PatchQAD:
+			// Enlargement targets no coordinate.
+		case OpReintegrate:
+			found := false
+			for c, at := range live {
+				if log[at].Tag == e.Tag {
+					delete(live, c)
+					found = true
+				}
+			}
+			if !found {
+				issues = append(issues, Issue{
+					Kind: DanglingReintegrate, Index: i, Entry: e,
+					Msg: fmt.Sprintf("no live isolation tagged %q", e.Tag),
+				})
+			}
+		default:
+			// All RM-family instructions (DataQ_RM, SyndromeQ_RM, the
+			// AncQ_RM variants, single-coordinate PatchQ_RM) remove the
+			// entry's coordinate. Row -1 marks a patch-level PatchQ_RM
+			// (boundary rows/columns), which targets no single coordinate.
+			if e.Row < 0 {
+				break
+			}
+			c := coord{e.Row, e.Col}
+			if prev, ok := live[c]; ok {
+				issues = append(issues, Issue{
+					Kind: DoubleIsolate, Index: i, Entry: e,
+					Msg: fmt.Sprintf("qubit at (%d,%d) already isolated by entry %d (%s, tag %q)", e.Row, e.Col, prev, log[prev].Op, log[prev].Tag),
+				})
+				continue
+			}
+			live[c] = i
+		}
+	}
+	// Deterministic order for end-of-log issues: by removal log index.
+	var leftover []int
+	for _, at := range live {
+		leftover = append(leftover, at)
+	}
+	sort.Ints(leftover)
+	for _, at := range leftover {
+		e := log[at]
+		issues = append(issues, Issue{
+			Kind: UnmatchedIsolate, Index: -1, Entry: e,
+			Msg: fmt.Sprintf("qubit at (%d,%d) isolated by entry %d (tag %q) is never reintegrated", e.Row, e.Col, at, e.Tag),
+		})
+	}
+	return issues
+}

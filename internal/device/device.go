@@ -86,20 +86,19 @@ type Options struct {
 }
 
 func (o *Options) fill() {
-	if o.Model.MeanHours == 0 {
+	if o.Model.MeanHours == 0 { //lint:allow floateq zero MeanHours marks an unset noise model, an exact sentinel
 		o.Model = noise.CurrentModel()
 	}
-	if o.P0 == 0 {
-		o.P0 = noise.InitialErrorRate
-	}
-	if o.CaliMinHours == 0 {
-		o.CaliMinHours = 2.0 / 60
-	}
-	if o.CaliMaxHours == 0 {
-		o.CaliMaxHours = 10.0 / 60
-	}
-	if o.ExtraNbrProb == 0 {
-		o.ExtraNbrProb = 0.15
+	defaultFloat(&o.P0, noise.InitialErrorRate)
+	defaultFloat(&o.CaliMinHours, 2.0/60)
+	defaultFloat(&o.CaliMaxHours, 10.0/60)
+	defaultFloat(&o.ExtraNbrProb, 0.15)
+}
+
+// defaultFloat assigns d to *v when the field was left at its zero value.
+func defaultFloat(v *float64, d float64) {
+	if *v == 0 { //lint:allow floateq the zero value means "unset", an exact sentinel never produced by arithmetic
+		*v = d
 	}
 }
 
@@ -163,7 +162,7 @@ func New(lat *lattice.Lattice, opt Options, r *rng.RNG) *Device {
 // Gate returns the gate with the given ID.
 func (d *Device) Gate(id int) *Gate {
 	if id < 0 || id >= len(d.Gates) {
-		panic(fmt.Sprintf("device: gate %d out of range", id))
+		panic(fmt.Sprintf("device: gate %d out of range", id)) //lint:allow panicpolicy gate-ID misuse mirrors built-in slice indexing
 	}
 	return &d.Gates[id]
 }

@@ -13,7 +13,6 @@ import (
 	"caliqec/internal/workload"
 	"context"
 	"fmt"
-	"time"
 )
 
 // AblateDecoder compares the production union-find decoder against the
@@ -42,7 +41,7 @@ func AblateDecoder(ctx context.Context, seed uint64) (*Report, error) {
 				}
 				// Workers: 1 so the wall-clock per shot reflects decode
 				// latency, not pool parallelism.
-				start := time.Now()
+				elapsed := stopwatch()
 				res, err := evalLER(ctx, fmt.Sprintf("ablate-decoder %s d=%d", name, d), mc.Spec{
 					Circuit: c, Decoder: kind, Shots: shots, Rounds: d,
 					RNG: rng.New(seed + uint64(d)), Workers: 1,
@@ -50,7 +49,7 @@ func AblateDecoder(ctx context.Context, seed uint64) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				perShot := time.Since(start).Seconds() * 1e6 / shots
+				perShot := elapsed() * 1e6 / shots
 				rep.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.3g", p), name,
 					fmt.Sprintf("%.4g", res.LER), fmt.Sprintf("%.1f", perShot))
 				rep.SetValue(fmt.Sprintf("%s_d%d_p%.0e", name, d, p), res.LER)
@@ -231,14 +230,14 @@ func DecodeCost(ctx context.Context, seed uint64) (*Report, error) {
 	mk := func() *code.Patch { return code.NewPatch(lattice.NewSquare(d)) }
 	timeIt := func(label string, c *circuitT) (float64, int, error) {
 		// Workers: 1 — this experiment reports decode latency per shot.
-		start := time.Now()
+		elapsed := stopwatch()
 		if _, err := evalLER(ctx, "decode-cost "+label, mc.Spec{
 			Circuit: c.c, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: rounds,
 			RNG: rng.New(seed + c.off), Workers: 1,
 		}); err != nil {
 			return 0, 0, err
 		}
-		return time.Since(start).Seconds() * 1e6 / shots, c.c.NumDetectors, nil
+		return elapsed() * 1e6 / shots, c.c.NumDetectors, nil
 	}
 	// Pristine.
 	pr := mk()
@@ -263,7 +262,7 @@ func DecodeCost(ctx context.Context, seed uint64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	var base float64
+	base := -1.0 // set from the first row; negative marks "not yet measured"
 	for _, row := range []struct {
 		name string
 		ct   *circuitT
@@ -283,7 +282,7 @@ func DecodeCost(ctx context.Context, seed uint64) (*Report, error) {
 			}
 		}
 		rel := "1.00x"
-		if base == 0 {
+		if base < 0 {
 			base = us
 		} else {
 			rel = fmt.Sprintf("%.2fx", us/base)

@@ -1,0 +1,18 @@
+package exp
+
+import "time"
+
+// wallClock is the one sanctioned wall-clock source for this package's
+// throughput measurements (decoder µs/shot columns). Experiments must not
+// read time.Now directly — simulated time is always an explicit parameter —
+// but latency ablations genuinely measure the host machine, so they go
+// through this injection point, which tests may swap for a fake clock.
+var wallClock = time.Now //lint:allow timenow single injected wall-clock source for latency ablations
+
+// stopwatch starts timing and returns a closure yielding elapsed seconds.
+// Using Sub on two wallClock samples (rather than time.Since) keeps the
+// measurement fully under the injected clock.
+func stopwatch() func() float64 {
+	start := wallClock()
+	return func() float64 { return wallClock().Sub(start).Seconds() }
+}

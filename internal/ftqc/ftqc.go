@@ -102,7 +102,7 @@ func (f TFactory) CyclesPerState() float64 { return 10 * float64(f.D) }
 // rate.
 func FactoriesFor(prog workload.Program, d int) int {
 	cycles := TotalCycles(prog, d)
-	if cycles == 0 {
+	if cycles == 0 { //lint:allow floateq an empty program has exactly zero cycles; guards the division below
 		return 0
 	}
 	tRate := prog.T / cycles // states consumed per cycle

@@ -23,7 +23,7 @@ type Arch struct {
 // NewArch lays out `logical` patches in a near-square grid at distance d.
 func NewArch(logical, d int) *Arch {
 	if logical < 1 {
-		panic("ftqc: need ≥ 1 logical patch")
+		panic("ftqc: need ≥ 1 logical patch") //lint:allow panicpolicy an empty logical program is API misuse
 	}
 	cols := 1
 	for cols*cols < logical {
@@ -79,7 +79,7 @@ func (a *Arch) Route(ops []SurgeryOp) RouteResult {
 		if len(next) == len(pending) {
 			// No progress: should be impossible on a connected channel
 			// grid with an empty claim set, but guard against livelock.
-			panic(fmt.Sprintf("ftqc: routing livelock with %d ops pending", len(pending)))
+			panic(fmt.Sprintf("ftqc: routing livelock with %d ops pending", len(pending))) //lint:allow panicpolicy a routing livelock is a scheduler bug that must fail loudly
 		}
 		pending = next
 	}

@@ -241,7 +241,7 @@ func cellCorners(rows, cols, i, j int) [4][2]int {
 
 func validateDims(rows, cols int) {
 	if rows < 3 || rows%2 == 0 || cols < 3 || cols%2 == 0 {
-		panic(fmt.Sprintf("lattice: dimensions must be odd integers ≥ 3, got %d×%d", rows, cols))
+		panic(fmt.Sprintf("lattice: dimensions must be odd integers ≥ 3, got %d×%d", rows, cols)) //lint:allow panicpolicy constructor misuse: dimensions are fixed at call sites
 	}
 }
 

@@ -7,7 +7,7 @@ import "math"
 // Halley step. It panics for p outside (0, 1).
 func NormInv(p float64) float64 {
 	if p <= 0 || p >= 1 {
-		panic("rng: NormInv domain is (0,1)")
+		panic("rng: NormInv domain is (0,1)") //lint:allow panicpolicy domain misuse is a programming error, following math package conventions
 	}
 	const (
 		pLow  = 0.02425
@@ -55,7 +55,7 @@ func LogNormInv(p, mu, sigma float64) float64 {
 // the minimum is 1-(1-U)^(1/n).
 func (r *RNG) MinOfLogNormals(n int, mu, sigma float64) float64 {
 	if n <= 0 {
-		panic("rng: MinOfLogNormals needs n ≥ 1")
+		panic("rng: MinOfLogNormals needs n ≥ 1") //lint:allow panicpolicy domain misuse is a programming error, following math package conventions
 	}
 	u := r.Float64()
 	q := 1 - math.Pow(1-u, 1/float64(n))

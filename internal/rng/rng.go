@@ -74,7 +74,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn with non-positive n")
+		panic("rng: Intn with non-positive n") //lint:allow panicpolicy domain misuse is a programming error, following math package conventions
 	}
 	// Lemire's multiply-shift rejection method for unbiased bounded output.
 	un := uint64(n)

@@ -61,7 +61,7 @@ func Percentile(xs []float64, q float64) float64 {
 // two points or degenerate x.
 func LinearFit(x, y []float64) (slope, intercept float64) {
 	if len(x) != len(y) {
-		panic("rng: LinearFit length mismatch")
+		panic("rng: LinearFit length mismatch") //lint:allow panicpolicy length misuse mirrors built-in slice panic semantics
 	}
 	n := float64(len(x))
 	if len(x) < 2 {
@@ -75,7 +75,7 @@ func LinearFit(x, y []float64) (slope, intercept float64) {
 		sxy += x[i] * y[i]
 	}
 	den := n*sxx - sx*sx
-	if den == 0 {
+	if den == 0 { //lint:allow floateq guards exactly-degenerate regression input (all x equal); any nonzero den is usable
 		return 0, Mean(y)
 	}
 	slope = (n*sxy - sx*sy) / den

@@ -105,23 +105,22 @@ func (c *Config) fill() {
 	if c.SampleGates == 0 {
 		c.SampleGates = 512
 	}
-	if c.StepHours == 0 {
-		c.StepHours = 0.25
-	}
-	if c.LSCOutageHours == 0 {
-		c.LSCOutageHours = 0.15
-	}
-	if c.LSCLookaheadHours == 0 {
-		c.LSCLookaheadHours = 1.0
-	}
-	if c.LSCStallFactor == 0 {
-		c.LSCStallFactor = 0.45
-	}
+	defaultFloat(&c.StepHours, 0.25)
+	defaultFloat(&c.LSCOutageHours, 0.15)
+	defaultFloat(&c.LSCLookaheadHours, 1.0)
+	defaultFloat(&c.LSCStallFactor, 0.45)
 	if c.GatesPerPatch == 0 {
 		c.GatesPerPatch = 3 * c.D * c.D
 	}
-	if c.Model.MeanHours == 0 {
+	if c.Model.MeanHours == 0 { //lint:allow floateq zero MeanHours marks an unset noise model, an exact sentinel
 		c.Model = noise.CurrentModel()
+	}
+}
+
+// defaultFloat assigns d to *v when the field was left at its zero value.
+func defaultFloat(v *float64, d float64) {
+	if *v == 0 { //lint:allow floateq the zero value means "unset", an exact sentinel never produced by arithmetic
+		*v = d
 	}
 }
 
@@ -302,7 +301,7 @@ func (s *simulator) run(pol policy) {
 			gates[i].deadline = gates[i].drift.TimeToReach(s.pTar)
 			gates[i].weight = w
 		}
-		if s.pTar == 0 {
+		if s.pTar == 0 { //lint:allow floateq pTar is exactly 0 only for the no-calibration strategy, an exact sentinel
 			for i := range gates {
 				gates[i].deadline = math.Inf(1)
 			}
