@@ -13,6 +13,7 @@ import (
 	"caliqec/internal/exp"
 	"caliqec/internal/lattice"
 	"caliqec/internal/mc"
+	"caliqec/internal/obs"
 	"caliqec/internal/rng"
 	"caliqec/internal/runtime"
 	"caliqec/internal/sim"
@@ -67,7 +68,7 @@ func BenchmarkTable2Row(b *testing.B) {
 	cfg := runtime.Config{Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: 7}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := runtime.Run(cfg, runtime.StrategyCaliQEC); err != nil {
+		if _, err := runtime.Run(context.Background(), cfg, runtime.StrategyCaliQEC); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -271,4 +272,39 @@ func BenchmarkPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObsOverhead isolates the cost of the observability layer on the
+// hot cached-sweep path: the same warm-engine Evaluate loop as
+// BenchmarkEngineCachedSweep, once with metrics discarded (nil handles,
+// every record a no-op) and once recording into a live registry. CI asserts
+// the live path stays within 5% of the discard path — the budget the obs
+// layer is allowed to cost a sweep.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := memoryCircuit(b, 5)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 5, Basis: lattice.BasisZ, Noise: code.UniformNoise(2e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := func(i int) mc.Spec {
+		return mc.Spec{
+			Circuit: c, Decoder: decoder.KindUnionFind,
+			Shots: 256, Rounds: 5, RNG: rng.New(uint64(i + 1)),
+		}
+	}
+	ctx := context.Background()
+	warm := func(b *testing.B, reg *obs.Registry) {
+		eng := mc.New(mc.Options{Metrics: reg})
+		if _, err := eng.Evaluate(ctx, spec(0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Evaluate(ctx, spec(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("discard", func(b *testing.B) { warm(b, obs.Discard) })
+	b.Run("recording", func(b *testing.B) { warm(b, obs.NewRegistry(nil)) })
 }

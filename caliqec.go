@@ -34,6 +34,7 @@ import (
 	"caliqec/internal/lattice"
 	"caliqec/internal/mc"
 	"caliqec/internal/noise"
+	"caliqec/internal/obs"
 	"caliqec/internal/rng"
 	"caliqec/internal/sched"
 	"context"
@@ -183,8 +184,23 @@ type IntervalReport struct {
 // budget; each batch's regions are isolated via the instruction set, the
 // gates calibrated on the device, and the regions reintegrated. If a batch
 // costs code distance, the patch is enlarged (PatchQ_AD) for its duration
-// and shrunk back afterwards.
+// and shrunk back afterwards. It is RunIntervalContext with a background
+// context.
 func (s *System) RunInterval(plan *Plan, n int, nowHours float64) (*IntervalReport, error) {
+	return s.RunIntervalContext(context.Background(), plan, n, nowHours)
+}
+
+// RunIntervalContext is RunInterval with a caller-supplied context: the
+// interval aborts between batches when the context is cancelled, and when
+// the context carries an obs tracer the interval records one
+// "caliqec.interval" span with a nested "deform.session" span per batch
+// (attributed with the batch's instruction kinds and distance loss), so a
+// whole calibration run is visible as a timeline in chrome://tracing.
+func (s *System) RunIntervalContext(ctx context.Context, plan *Plan, n int, nowHours float64) (*IntervalReport, error) {
+	ctx, span := obs.StartSpan(ctx, "caliqec.interval")
+	defer span.End()
+	span.SetAttr("interval", n)
+	span.SetAttr("delta_d", s.Options.DeltaD)
 	rep := &IntervalReport{Interval: n}
 	due := plan.Grouping.DueGates(n)
 	rep.DueGates = due
@@ -208,65 +224,78 @@ func (s *System) RunInterval(plan *Plan, n int, nowHours float64) (*IntervalRepo
 	rep.Batches = len(schedule.Batches)
 	rep.MaxDeltaD = schedule.MaxLoss()
 	for bi, batch := range schedule.Batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tag := fmt.Sprintf("int%d-batch%d", n, bi)
-		// Collect the batch's isolation region as coordinates on the
-		// device lattice (coordinates stay valid across patch rebuilds).
-		coordSet := map[[2]int]bool{}
-		for _, task := range batch.Tasks {
-			for _, q := range task.Region {
-				qb := s.Device.Lat.Qubit(q)
-				coordSet[[2]int{qb.Row, qb.Col}] = true
+		// Each batch is one isolate→calibrate→reintegrate episode,
+		// observed as a deform.session span that ends on every path.
+		err := func(batch sched.Batch) error {
+			_, sess := s.Deformer.BeginSession(ctx, tag)
+			defer sess.End()
+			// Collect the batch's isolation region as coordinates on the
+			// device lattice (coordinates stay valid across patch rebuilds).
+			coordSet := map[[2]int]bool{}
+			for _, task := range batch.Tasks {
+				for _, q := range task.Region {
+					qb := s.Device.Lat.Qubit(q)
+					coordSet[[2]int{qb.Row, qb.Col}] = true
+				}
 			}
-		}
-		// Dynamic code enlargement FIRST (paper §3: "dynamic code
-		// enlargement, which slightly expands affected patches to maintain
-		// QEC capabilities during the calibration process"): grow by the
-		// batch's estimated distance loss so isolation never drops the
-		// patch below its original protection level.
-		grow := (batch.DistanceLoss + 1) / 2
-		for g := 0; g < grow; g++ {
-			if err := s.Deformer.Enlarge(true); err != nil {
-				return nil, err
+			// Dynamic code enlargement FIRST (paper §3: "dynamic code
+			// enlargement, which slightly expands affected patches to maintain
+			// QEC capabilities during the calibration process"): grow by the
+			// batch's estimated distance loss so isolation never drops the
+			// patch below its original protection level.
+			grow := (batch.DistanceLoss + 1) / 2
+			for g := 0; g < grow; g++ {
+				if err := s.Deformer.Enlarge(true); err != nil {
+					return err
+				}
+				if err := s.Deformer.Enlarge(false); err != nil {
+					return err
+				}
+				rep.Enlarged = true
 			}
-			if err := s.Deformer.Enlarge(false); err != nil {
-				return nil, err
+			// Resolve the region on the (possibly larger) current lattice and
+			// isolate it with the instruction set.
+			var qubits []int
+			for rc := range coordSet {
+				q, err := s.Deformer.QubitAt(rc[0], rc[1])
+				if err != nil {
+					return err
+				}
+				qubits = append(qubits, q)
 			}
-			rep.Enlarged = true
-		}
-		// Resolve the region on the (possibly larger) current lattice and
-		// isolate it with the instruction set.
-		var qubits []int
-		for rc := range coordSet {
-			q, err := s.Deformer.QubitAt(rc[0], rc[1])
-			if err != nil {
-				return nil, err
+			sort.Ints(qubits)
+			if _, err := s.Deformer.IsolateRegion(qubits, tag); err != nil {
+				return fmt.Errorf("caliqec: isolating batch %d: %w", bi, err)
 			}
-			qubits = append(qubits, q)
-		}
-		sort.Ints(qubits)
-		if _, err := s.Deformer.IsolateRegion(qubits, tag); err != nil {
-			return nil, fmt.Errorf("caliqec: isolating batch %d: %w", bi, err)
-		}
-		// Calibrate the batch's gates on the device while computation
-		// continues on the deformed patch.
-		for _, task := range batch.Tasks {
-			for _, id := range task.MemberGates() {
-				s.Device.Calibrate(id, nowHours+rep.ElapsedHours)
-				rep.Calibrated++
+			// Calibrate the batch's gates on the device while computation
+			// continues on the deformed patch.
+			for _, task := range batch.Tasks {
+				for _, id := range task.MemberGates() {
+					s.Device.Calibrate(id, nowHours+rep.ElapsedHours)
+					rep.Calibrated++
+				}
 			}
-		}
-		rep.ElapsedHours += batch.Hours
-		// Reintegrate the region and shrink the patch back.
-		if err := s.Deformer.Reintegrate(tag); err != nil {
-			return nil, fmt.Errorf("caliqec: reintegrating batch %d: %w", bi, err)
-		}
-		for g := 0; g < grow; g++ {
-			if err := s.Deformer.Shrink(true); err != nil {
-				return nil, err
+			rep.ElapsedHours += batch.Hours
+			// Reintegrate the region and shrink the patch back.
+			if err := s.Deformer.Reintegrate(tag); err != nil {
+				return fmt.Errorf("caliqec: reintegrating batch %d: %w", bi, err)
 			}
-			if err := s.Deformer.Shrink(false); err != nil {
-				return nil, err
+			for g := 0; g < grow; g++ {
+				if err := s.Deformer.Shrink(true); err != nil {
+					return err
+				}
+				if err := s.Deformer.Shrink(false); err != nil {
+					return err
+				}
 			}
+			return nil
+		}(batch)
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rep, nil

@@ -18,6 +18,8 @@ import (
 	"caliqec/internal/lattice"
 	"caliqec/internal/mc"
 	"caliqec/internal/rng"
+	"caliqec/internal/runtime"
+	"caliqec/internal/workload"
 	"context"
 	"flag"
 	"fmt"
@@ -142,18 +144,29 @@ func cmdSchedule(args []string) error {
 	return nil
 }
 
-func cmdRun(args []string) error {
+func cmdRun(args []string) (err error) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	topo := topoFlag(fs)
 	d := fs.Int("d", 5, "code distance")
 	seed := fs.Uint64("seed", 1, "random seed")
 	ler := fs.Float64("ler", 1e-3, "target logical error rate per cycle")
 	intervals := fs.Int("intervals", 4, "calibration intervals to execute")
+	shots := fs.Int("shots", 0, "when > 0, Monte-Carlo-measure the patch LER after each interval with this shot budget")
+	account := fs.Bool("account", true, "run the Table-2 strategy accounting (no-cal / LSC / CaliQEC retry risk) after the intervals")
+	oc := addObsFlags(fs)
 	fs.Parse(args)
 	tp, err := parseTopo(*topo)
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx = oc.start(ctx)
+	defer func() {
+		if ferr := oc.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	sys, err := caliqec.NewSystem(tp, *d, caliqec.Options{Seed: *seed})
 	if err != nil {
 		return err
@@ -166,7 +179,7 @@ func cmdRun(args []string) error {
 		tp, *d, plan.Grouping.TCaliHours, plan.PTar)
 	now := 0.0
 	for n := 1; n <= *intervals; n++ {
-		rep, err := sys.RunInterval(plan, n, now)
+		rep, err := sys.RunIntervalContext(ctx, plan, n, now)
 		if err != nil {
 			return err
 		}
@@ -175,14 +188,32 @@ func cmdRun(args []string) error {
 		if err := sys.Patch().Validate(); err != nil {
 			return fmt.Errorf("patch invalid after interval %d: %w", n, err)
 		}
+		if *shots > 0 {
+			res, err := sys.MeasureLERContext(ctx, now, *d, *shots)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  patch LER at t=%.2fh: %v (per-round %.4g)\n", now, res, res.PerRoundLER)
+		}
 		now += plan.Grouping.TCaliHours
 	}
 	fmt.Printf("\npatch valid, distance (%d, %d), %d checks\n",
 		sys.Patch().Distance(lattice.BasisX), sys.Patch().Distance(lattice.BasisZ), len(sys.Patch().Checks))
+	if *account {
+		fmt.Printf("\nstrategy accounting (Hubbard-10-10, d=25, retry budget 1%%):\n")
+		cfg := runtime.Config{Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: *seed}
+		for _, strat := range []runtime.Strategy{runtime.StrategyNoCal, runtime.StrategyLSC, runtime.StrategyCaliQEC} {
+			res, err := runtime.Run(ctx, cfg, strat)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %v\n", res)
+		}
+	}
 	return nil
 }
 
-func cmdSimulate(args []string) error {
+func cmdSimulate(args []string) (err error) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	topo := topoFlag(fs)
 	d := fs.Int("d", 3, "code distance")
@@ -193,6 +224,7 @@ func cmdSimulate(args []string) error {
 	isolate := fs.Bool("isolate", false, "isolate the central data qubit first (DataQ_RM)")
 	targetFails := fs.Int("target-failures", 0, "stop early once this many logical failures are seen (0 = run the full budget)")
 	progress := fs.Bool("progress", false, "print a live shots/failures status line to stderr")
+	oc := addObsFlags(fs)
 	fs.Parse(args)
 	tp, err := parseTopo(*topo)
 	if err != nil {
@@ -224,6 +256,12 @@ func cmdSimulate(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = oc.start(ctx)
+	defer func() {
+		if ferr := oc.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	spec := mc.Spec{
 		Circuit: c, Decoder: decoder.KindUnionFind,
 		Shots: *shots, Rounds: *rounds, RNG: rng.New(*seed),

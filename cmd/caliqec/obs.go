@@ -1,0 +1,87 @@
+package main
+
+import (
+	"caliqec/internal/obs"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// obsConfig wires the observability flags shared by the subcommands:
+// -metrics and -trace dump the obs.Default registry snapshot and the run's
+// Chrome trace-event file at exit, -debug-addr serves /metrics plus
+// net/http/pprof while the command runs.
+type obsConfig struct {
+	metricsPath string
+	tracePath   string
+	debugAddr   string
+	tracer      *obs.Tracer
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsConfig {
+	c := &obsConfig{}
+	fs.StringVar(&c.metricsPath, "metrics", "", "write the metrics snapshot (JSON) to this file at exit")
+	fs.StringVar(&c.tracePath, "trace", "", "write a Chrome trace-event JSON file (chrome://tracing / Perfetto) to this file at exit")
+	fs.StringVar(&c.debugAddr, "debug-addr", "", "serve /metrics and /debug/pprof on this address while the command runs")
+	return c
+}
+
+// start attaches a tracer to ctx when -trace is set and starts the debug
+// server when -debug-addr is set. Call finish (even on error paths) to
+// write the requested files.
+func (c *obsConfig) start(ctx context.Context) context.Context {
+	if c.tracePath != "" {
+		c.tracer = obs.NewTracer(nil)
+		ctx = obs.WithTracer(ctx, c.tracer)
+	}
+	if c.debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(c.debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "caliqec: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics and /debug/pprof/\n", c.debugAddr)
+	}
+	return ctx
+}
+
+// finish writes the metrics snapshot and trace file, if requested.
+func (c *obsConfig) finish() error {
+	if c.metricsPath != "" {
+		f, err := os.Create(c.metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.Default.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.tracePath != "" && c.tracer != nil {
+		f, err := os.Create(c.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := c.tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,10 +14,12 @@ package main
 
 import (
 	"caliqec/internal/exp"
+	"caliqec/internal/obs"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,11 +28,13 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
-		seed     = flag.Uint64("seed", 2025, "random seed")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		outDir   = flag.String("o", "", "also write <id>.json and <id>.csv into this directory")
-		progress = flag.Bool("progress", false, "print live Monte-Carlo status lines to stderr")
+		which       = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed        = flag.Uint64("seed", 2025, "random seed")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		outDir      = flag.String("o", "", "also write <id>.json and <id>.csv into this directory")
+		progress    = flag.Bool("progress", false, "print live Monte-Carlo status lines to stderr")
+		metricsPath = flag.String("metrics", "", "write the metrics snapshot (JSON) to this file at exit")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file to this file at exit")
 	)
 	flag.Parse()
 	reg := exp.All()
@@ -50,6 +54,24 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(nil)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	dumpObs := func() {
+		if *metricsPath != "" {
+			if err := writeTo(*metricsPath, obs.Default.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			}
+		}
+		if tracer != nil {
+			if err := writeTo(*tracePath, tracer.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			}
+		}
+	}
+	defer dumpObs()
 	if *progress {
 		ctx = exp.WithProgress(ctx, func(label string, shots, total, failures int) {
 			fmt.Fprintf(os.Stderr, "\r\x1b[K%s: %d/%d shots, %d failures", label, shots, total, failures)
@@ -62,6 +84,7 @@ func main() {
 			fmt.Fprint(os.Stderr, "\r\x1b[K")
 		}
 		if err != nil {
+			dumpObs() // os.Exit skips the deferred dump
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "%s: interrupted\n", id)
 				os.Exit(130)
@@ -78,4 +101,17 @@ func main() {
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"caliqec/internal/runtime"
 	"caliqec/internal/workload"
+	"context"
 	"fmt"
 	"log"
 )
@@ -35,7 +36,7 @@ func main() {
 		for _, strat := range []runtime.Strategy{
 			runtime.StrategyNoCal, runtime.StrategyLSC, runtime.StrategyCaliQEC,
 		} {
-			res, err := runtime.Run(c, strat)
+			res, err := runtime.Run(context.Background(), c, strat)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// ObsSpan enforces the span-lifecycle contract of the observability layer:
+// every span returned by obs.StartSpan must be ended on every path through
+// the enclosing function — either a `defer span.End()` (possibly inside a
+// deferred closure) or an explicit `span.End()` before each return and
+// before falling off the end. A span that is never ended never records its
+// trace event, so the leak is silent: the trace just misses the operation.
+// Discarding the span with `_` is also a diagnostic. Spans that
+// intentionally outlive the function (ownership handed to a caller, as in
+// deform.BeginSession) carry a //lint:allow obsspan waiver on the
+// StartSpan line.
+//
+// The check is a linear walk with branch-sensitive merging, not full
+// control-flow analysis: an End inside only one arm of an if does not count
+// as ending on the fall-through path, and Ends inside loops, switches or
+// nested function literals are treated conservatively (they may execute
+// zero times). Diagnostics anchor at the StartSpan call so one waiver
+// covers every path violation of that span.
+func ObsSpan() *Rule {
+	return &Rule{
+		Name: "obsspan",
+		Doc:  "every obs.StartSpan span must be ended on all paths (defer span.End() or End before each return)",
+		Run: func(p *Pass) {
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						body = fn.Body
+					case *ast.FuncLit:
+						body = fn.Body
+					default:
+						return true
+					}
+					if body != nil {
+						checkSpansIn(p, body)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkSpansIn finds StartSpan assignments directly inside fn's body
+// (including nested blocks, but not nested function literals — those are
+// their own scopes, visited separately) and verifies each span's lifecycle.
+func checkSpansIn(p *Pass, body *ast.BlockStmt) {
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for i, st := range stmts {
+			as, ok := st.(*ast.AssignStmt)
+			if ok {
+				if call, spanID := startSpanAssign(p, as); call != nil {
+					if spanID == nil || spanID.Name == "_" {
+						p.Reportf(call.Pos(), "obs.StartSpan span discarded with _: the span is never ended and its trace event is lost")
+					} else if obj := spanObject(p, spanID); obj != nil {
+						c := &spanCheck{p: p, obj: obj}
+						st, term := c.analyze(stmts[i+1:], pathState{})
+						if c.violated || (!term && !st.safe()) {
+							p.Reportf(call.Pos(), "span %s from obs.StartSpan is not ended on every path: defer %s.End() or call End before each return (waive intentional hand-off with //lint:allow obsspan)", spanID.Name, spanID.Name)
+						}
+					}
+				}
+			}
+			// Recurse into nested statement lists so StartSpan calls inside
+			// ifs/loops are found with their own enclosing list.
+			switch s := st.(type) {
+			case *ast.BlockStmt:
+				walk(s.List)
+			case *ast.IfStmt:
+				walk(s.Body.List)
+				if e, ok := s.Else.(*ast.BlockStmt); ok {
+					walk(e.List)
+				} else if e, ok := s.Else.(*ast.IfStmt); ok {
+					walk([]ast.Stmt{e})
+				}
+			case *ast.ForStmt:
+				walk(s.Body.List)
+			case *ast.RangeStmt:
+				walk(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, cc := range s.Body.List {
+					walk(cc.(*ast.CaseClause).Body)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, cc := range s.Body.List {
+					walk(cc.(*ast.CaseClause).Body)
+				}
+			case *ast.SelectStmt:
+				for _, cc := range s.Body.List {
+					walk(cc.(*ast.CommClause).Body)
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt})
+			}
+		}
+	}
+	walk(body.List)
+}
+
+// startSpanAssign matches `a, b := obs.StartSpan(...)` (or `=`) and returns
+// the call plus the identifier receiving the span (the second LHS), nil for
+// non-identifier LHS.
+func startSpanAssign(p *Pass, as *ast.AssignStmt) (*ast.CallExpr, *ast.Ident) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil, nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return nil, nil
+	}
+	if path.Base(pkgRef(p, sel.X)) != "obs" {
+		return nil, nil
+	}
+	id, _ := as.Lhs[1].(*ast.Ident)
+	return call, id
+}
+
+// spanObject resolves the identifier to its object, whether the assignment
+// defined it (:=) or reused an existing variable (=).
+func spanObject(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// pathState tracks one execution path's span status.
+type pathState struct {
+	ended    bool // span.End() has run on this path
+	deferred bool // defer span.End() is registered on this path
+}
+
+func (s pathState) safe() bool { return s.ended || s.deferred }
+
+// merge combines the fall-through states of two branches: the span is only
+// safe after the join if it was safe down both arms.
+func (s pathState) merge(o pathState) pathState {
+	return pathState{ended: s.ended && o.ended, deferred: s.deferred && o.deferred}
+}
+
+type spanCheck struct {
+	p        *Pass
+	obj      types.Object
+	violated bool
+}
+
+// analyze walks stmts linearly, tracking whether the span is ended or
+// covered by a defer. It returns the fall-through state and whether every
+// path through stmts terminates (returns) before falling through. A return
+// reached while the span is neither ended nor deferred is a violation.
+func (c *spanCheck) analyze(stmts []ast.Stmt, st pathState) (pathState, bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if c.callEndsSpan(s.Call) || c.deferredClosureEndsSpan(s.Call) {
+				st.deferred = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && c.callEndsSpan(call) {
+				st.ended = true
+			}
+		case *ast.ReturnStmt:
+			if !st.safe() {
+				c.violated = true
+			}
+			return st, true
+		case *ast.BranchStmt:
+			// break/continue/goto leave the list; conservatively treat an
+			// unsafe span as a violation only at returns, so just stop.
+			return st, false
+		case *ast.BlockStmt:
+			var term bool
+			st, term = c.analyze(s.List, st)
+			if term {
+				return st, true
+			}
+		case *ast.IfStmt:
+			thenSt, thenTerm := c.analyze(s.Body.List, st)
+			elseSt, elseTerm := st, false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseSt, elseTerm = c.analyze(e.List, st)
+			case *ast.IfStmt:
+				elseSt, elseTerm = c.analyze([]ast.Stmt{e}, st)
+			}
+			switch {
+			case thenTerm && elseTerm:
+				return st, true
+			case thenTerm:
+				st = elseSt
+			case elseTerm:
+				st = thenSt
+			default:
+				st = thenSt.merge(elseSt)
+			}
+		case *ast.ForStmt:
+			// The body may run zero times: check its paths but do not let a
+			// loop-body End mark the fall-through path as ended.
+			c.analyze(s.Body.List, st)
+		case *ast.RangeStmt:
+			c.analyze(s.Body.List, st)
+		case *ast.SwitchStmt:
+			c.analyzeCases(s.Body.List, st)
+		case *ast.TypeSwitchStmt:
+			c.analyzeCases(s.Body.List, st)
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				c.analyze(cc.(*ast.CommClause).Body, st)
+			}
+		case *ast.LabeledStmt:
+			var term bool
+			st, term = c.analyze([]ast.Stmt{s.Stmt}, st)
+			if term {
+				return st, true
+			}
+		}
+	}
+	return st, false
+}
+
+// analyzeCases checks each case body independently; without a default arm
+// no case is guaranteed to run, so fall-through state is left unchanged
+// (conservative: an End inside a case never satisfies the contract alone).
+func (c *spanCheck) analyzeCases(clauses []ast.Stmt, st pathState) {
+	for _, cc := range clauses {
+		c.analyze(cc.(*ast.CaseClause).Body, st)
+	}
+}
+
+// callEndsSpan reports whether call is span.End() on the tracked span.
+func (c *spanCheck) callEndsSpan(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return c.p.Pkg.Info.Uses[id] == c.obj
+}
+
+// deferredClosureEndsSpan reports whether call is an immediately-deferred
+// function literal whose body (at any depth) calls span.End().
+func (c *spanCheck) deferredClosureEndsSpan(call *ast.CallExpr) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok && c.callEndsSpan(inner) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -19,6 +19,7 @@ func AllRules() []*Rule {
 		CtxFirst(),
 		PanicPolicy(),
 		BareLoop(),
+		ObsSpan(),
 	}
 }
 

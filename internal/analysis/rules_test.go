@@ -537,8 +537,8 @@ func Same(a, b prob.P) bool { return a == b }
 
 func TestAllRulesNamedAndDocumented(t *testing.T) {
 	rules := analysis.AllRules()
-	if len(rules) < 6 {
-		t.Fatalf("AllRules returned %d rules, want >= 6", len(rules))
+	if len(rules) < 7 {
+		t.Fatalf("AllRules returned %d rules, want >= 7", len(rules))
 	}
 	seen := map[string]bool{}
 	for _, r := range rules {
@@ -573,5 +573,229 @@ func Y(a, b float64) bool { return a != b && a == 0 }
 			(p.Filename == q.Filename && p.Line == q.Line && p.Column > q.Column) {
 			t.Errorf("diagnostics out of order: %v before %v", diags[i-1], diags[i])
 		}
+	}
+}
+
+// obsFixture is a module-local stand-in for caliqec/internal/obs with the
+// same StartSpan shape, so the obsspan rule resolves the span through real
+// type information.
+const obsFixture = `package obs
+
+import "context"
+
+type Span struct{}
+
+func (s *Span) End()                    {}
+func (s *Span) SetAttr(k string, v any) {}
+
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) { return ctx, nil }
+`
+
+func TestObsSpan(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"fires when the span is never ended",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "x")
+	sp.SetAttr("k", 1)
+}
+`},
+			map[string]int{"obsspan": 1},
+		},
+		{
+			"silent with defer span.End()",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context) error {
+	ctx, sp := obs.StartSpan(ctx, "x")
+	defer sp.End()
+	_ = ctx
+	if true {
+		return nil
+	}
+	return nil
+}
+`},
+			nil,
+		},
+		{
+			"silent with explicit End before every return",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context, b bool) error {
+	_, sp := obs.StartSpan(ctx, "x")
+	if b {
+		sp.End()
+		return nil
+	}
+	sp.End()
+	return nil
+}
+`},
+			nil,
+		},
+		{
+			"fires when only one branch ends the span",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context, b bool) error {
+	_, sp := obs.StartSpan(ctx, "x")
+	if b {
+		sp.End()
+	}
+	return nil
+}
+`},
+			map[string]int{"obsspan": 1},
+		},
+		{
+			"fires when the span is discarded with _",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context) {
+	ctx2, _ := obs.StartSpan(ctx, "x")
+	_ = ctx2
+}
+`},
+			map[string]int{"obsspan": 1},
+		},
+		{
+			"silent when a deferred closure ends the span",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "x")
+	defer func() {
+		sp.SetAttr("done", true)
+		sp.End()
+	}()
+}
+`},
+			nil,
+		},
+		{
+			"fires on an early return before End",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context, b bool) error {
+	_, sp := obs.StartSpan(ctx, "x")
+	if b {
+		return nil
+	}
+	sp.End()
+	return nil
+}
+`},
+			map[string]int{"obsspan": 1},
+		},
+		{
+			"fires inside a loop body that leaks the span",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, sp := obs.StartSpan(ctx, "iter")
+		sp.SetAttr("i", i)
+	}
+}
+`},
+			map[string]int{"obsspan": 1},
+		},
+		{
+			"silent inside a loop body that ends the span",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func X(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, sp := obs.StartSpan(ctx, "iter")
+		sp.SetAttr("i", i)
+		sp.End()
+	}
+}
+`},
+			nil,
+		},
+		{
+			"waiver on the StartSpan line suppresses a hand-off",
+			map[string]string{"obs/obs.go": obsFixture, "a/a.go": `package a
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func Begin(ctx context.Context) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, "x") //lint:allow obsspan ownership handed to the caller, who must End it
+	return ctx, sp
+}
+`},
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.ObsSpan()), tc.want)
+		})
 	}
 }

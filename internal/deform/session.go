@@ -1,0 +1,59 @@
+package deform
+
+import (
+	"caliqec/internal/obs"
+	"context"
+)
+
+// Session is one isolate→calibrate→reintegrate deformation episode on a
+// Deformer, observed as a single "deform.session" span attributed with the
+// instruction kinds issued and the distance loss at close. Obtain with
+// BeginSession and always End it; a nil Session (and a session without a
+// tracer in the context) is safe to End.
+type Session struct {
+	d    *Deformer
+	span *obs.Span
+	ops0 int // History length at BeginSession; the delta is this session's work
+}
+
+// BeginSession opens a deformation session tagged tag, returning a derived
+// context carrying the session span so nested work (mc evaluations during
+// isolation) appears under it in the trace.
+//
+// The span deliberately outlives this function: the caller owns it through
+// Session.End, which the facade defers around each calibration batch.
+func (d *Deformer) BeginSession(ctx context.Context, tag string) (context.Context, *Session) {
+	ctx, span := obs.StartSpan(ctx, "deform.session") //lint:allow obsspan the span escapes by design: Session.End closes it
+	span.SetAttr("tag", tag)
+	return ctx, &Session{d: d, span: span, ops0: len(d.History)}
+}
+
+// End closes the session: it counts the instructions issued since
+// BeginSession from the append-only History (rebuild replays rewrite Log
+// but never History, so the delta is exactly this session's work, counted
+// once), attributes the span with per-kind counts and the patch's current
+// distance loss, bumps the deform.* counters in obs.Default, and ends the
+// span. Idempotent via the span's own End semantics; safe on nil.
+func (s *Session) End() {
+	if s == nil {
+		return
+	}
+	issued := s.d.History[s.ops0:]
+	kinds := map[Op]int{}
+	for _, e := range issued {
+		kinds[e.Op]++
+	}
+	for op, n := range kinds {
+		s.span.SetAttr("op."+string(op), n)
+	}
+	s.span.SetAttr("instructions", len(issued))
+	lossX, lossZ := s.d.DistanceLoss()
+	s.span.SetAttr("loss_x", lossX)
+	s.span.SetAttr("loss_z", lossZ)
+	obs.Default.Counter("deform.sessions").Inc()
+	obs.Default.Counter("deform.instructions").Add(int64(len(issued)))
+	if n := kinds[OpReintegrate]; n > 0 {
+		obs.Default.Counter("deform.reintegrations").Add(int64(n))
+	}
+	s.span.End()
+}

@@ -63,20 +63,20 @@ func AblateDecoder(ctx context.Context, seed uint64) (*Report, error) {
 // AblateDeltaD sweeps CaliQEC's maximum tolerable distance loss Δd (the
 // paper fixes Δd = 4, §7.3) on the Hubbard-10-10 row: larger Δd buys more
 // calibration parallelism at more interspace qubits.
-func AblateDeltaD(_ context.Context, seed uint64) (*Report, error) {
+func AblateDeltaD(ctx context.Context, seed uint64) (*Report, error) {
 	rep := &Report{
 		ID:     "ablate-deltad",
 		Title:  "Δd ablation on Hubbard-10-10 (d=25)",
 		Header: []string{"Δd", "physical qubits", "qubit overhead", "retry risk"},
 	}
-	base, err := runtime.Run(runtime.Config{
+	base, err := runtime.Run(ctx, runtime.Config{
 		Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: seed,
 	}, runtime.StrategyNoCal)
 	if err != nil {
 		return nil, err
 	}
 	for _, dd := range []int{1, 2, 4, 8} {
-		res, err := runtime.Run(runtime.Config{
+		res, err := runtime.Run(ctx, runtime.Config{
 			Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: seed, DeltaD: dd,
 		}, runtime.StrategyCaliQEC)
 		if err != nil {

@@ -2,13 +2,16 @@ package exp
 
 import (
 	"caliqec/internal/mc"
+	"caliqec/internal/obs"
 	"context"
 )
 
 // ProgressFunc receives live Monte-Carlo status while an experiment runs:
 // a human-readable label for the evaluation in flight, shots committed so
-// far, the shot budget, and failures counted. It may be called
-// concurrently from engine workers and must be fast.
+// far, the shot budget, and failures counted. Calls are serialized by the
+// mc engine (never concurrent, strictly increasing shot counts, and a
+// guaranteed final call with the returned totals), but they arrive from
+// worker goroutines on the evaluation's critical path and must be fast.
 type ProgressFunc func(label string, shots, total, failures int)
 
 type progressKey struct{}
@@ -24,9 +27,16 @@ func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
 // reporter (if any) to the spec and evaluates on the shared mc engine, so
 // repeated circuits across experiments hit one DEM/graph cache.
 func evalLER(ctx context.Context, label string, spec mc.Spec) (mc.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "exp.eval")
+	defer span.End()
+	span.SetAttr("label", label)
 	if fn, ok := ctx.Value(progressKey{}).(ProgressFunc); ok && fn != nil {
 		total := spec.Shots
 		spec.Progress = func(shots, failures int) { fn(label, shots, total, failures) }
 	}
-	return mc.Evaluate(ctx, spec)
+	res, err := mc.Evaluate(ctx, spec)
+	if err == nil && res.EarlyStopped {
+		span.SetAttr("earlystop", true)
+	}
+	return res, err
 }

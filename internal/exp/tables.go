@@ -96,7 +96,7 @@ func Table2(ctx context.Context, seed uint64) (*Report, error) {
 		}
 		var res [3]*runtime.Result
 		for si, strat := range []runtime.Strategy{runtime.StrategyNoCal, runtime.StrategyLSC, runtime.StrategyCaliQEC} {
-			r, err := runtime.Run(cfg, strat)
+			r, err := runtime.Run(ctx, cfg, strat)
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s d=%d %v: %w", row.prog.Name, row.d, strat, err)
 			}

@@ -33,6 +33,7 @@ package mc
 import (
 	"caliqec/internal/circuit"
 	"caliqec/internal/decoder"
+	"caliqec/internal/obs"
 	"caliqec/internal/rng"
 	"caliqec/internal/sim"
 	"context"
@@ -86,8 +87,12 @@ type Spec struct {
 	MinShots int
 
 	// Progress, when non-nil, receives (shots committed, failures so far)
-	// after chunks complete. It may be called concurrently from worker
-	// goroutines and must be fast.
+	// as the committed chunk prefix advances. Calls are serialized — never
+	// concurrent — and the reported shot count is strictly increasing, but
+	// calls may come from different worker goroutines, so the callback must
+	// not assume a particular goroutine and must be fast (it runs on the
+	// evaluation's critical path). When Evaluate returns without error, the
+	// final call is guaranteed to have carried the returned totals.
 	Progress func(shots, failures int)
 }
 
@@ -107,12 +112,18 @@ type Options struct {
 	// CacheSize bounds the number of cached DEM+graph entries (LRU);
 	// ≤ 0 selects the default (64).
 	CacheSize int
+	// Metrics selects the registry the engine records into; nil selects
+	// obs.Default. Pass obs.Discard for an uninstrumented engine (the
+	// baseline BenchmarkObsOverhead measures against).
+	Metrics *obs.Registry
 }
 
 // Engine runs Monte-Carlo LER evaluations with a shared DEM/graph cache.
 // The zero value is not usable; construct with New. An Engine is safe for
 // concurrent use.
 type Engine struct {
+	metrics engineMetrics
+
 	mu       sync.Mutex
 	cache    map[fingerprint]*cacheEntry
 	order    []fingerprint // LRU order, most recent last
@@ -121,12 +132,45 @@ type Engine struct {
 	misses   uint64
 }
 
+// engineMetrics holds the engine's metric handles, resolved once at
+// construction so the hot path pays atomic adds only. Every handle is nil
+// (a no-op) when the engine records into obs.Discard.
+type engineMetrics struct {
+	registry     *obs.Registry
+	shots        *obs.Counter   // mc.shots: Monte-Carlo shots committed
+	failures     *obs.Counter   // mc.failures: logical failures counted
+	evaluations  *obs.Counter   // mc.evaluations: Evaluate calls completed
+	earlyStops   *obs.Counter   // mc.earlystop: evaluations ended by a criterion
+	cacheHits    *obs.Gauge     // mc.cache.hits: cumulative DEM/graph cache hits
+	cacheMisses  *obs.Gauge     // mc.cache.misses: cumulative cache misses
+	cacheEntries *obs.Gauge     // mc.cache.entries: current cache population
+	latency      *obs.Histogram // mc.decode.latency: per-chunk wall ns
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	if r == nil {
+		r = obs.Default
+	}
+	return engineMetrics{
+		registry:     r,
+		shots:        r.Counter("mc.shots"),
+		failures:     r.Counter("mc.failures"),
+		evaluations:  r.Counter("mc.evaluations"),
+		earlyStops:   r.Counter("mc.earlystop"),
+		cacheHits:    r.Gauge("mc.cache.hits"),
+		cacheMisses:  r.Gauge("mc.cache.misses"),
+		cacheEntries: r.Gauge("mc.cache.entries"),
+		latency:      r.Histogram("mc.decode.latency"),
+	}
+}
+
 // New returns an Engine with the given options.
 func New(opt Options) *Engine {
 	if opt.CacheSize <= 0 {
 		opt.CacheSize = 64
 	}
 	return &Engine{
+		metrics:  newEngineMetrics(opt.Metrics),
 		cache:    make(map[fingerprint]*cacheEntry),
 		maxEntry: opt.CacheSize,
 	}
@@ -175,10 +219,18 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	ctx, span := obs.StartSpan(ctx, "mc.evaluate")
+	defer span.End()
+	span.SetAttr("shots", spec.Shots)
+	span.SetAttr("detectors", spec.Circuit.NumDetectors)
 	ent, err := e.entryFor(prior)
 	if err != nil {
 		return Result{}, err
 	}
+	hits, misses, entries := e.CacheStats()
+	e.metrics.cacheHits.Set(float64(hits))
+	e.metrics.cacheMisses.Set(float64(misses))
+	e.metrics.cacheEntries.Set(float64(entries))
 
 	base := spec.RNG
 	if base == nil {
@@ -217,6 +269,27 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 		evalErr   error
 	)
 
+	// report serializes Progress callbacks. Workers snapshot the committed
+	// totals outside mu and may race to deliver them, so the monotonic
+	// guard drops a stale snapshot that lost the race — the callback sees
+	// strictly increasing shot counts, never interleaved or reordered.
+	var (
+		progressMu    sync.Mutex
+		reportedShots = -1
+	)
+	report := func(shots, failures int) {
+		if spec.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		if shots <= reportedShots {
+			return
+		}
+		reportedShots = shots
+		spec.Progress(shots, failures)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -236,7 +309,7 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 				if rem := spec.Shots - i*chunkShots; rem < n {
 					n = rem
 				}
-				fails, cerr := runChunk(ctx, spec.Circuit, ent, spec.Decoder, n, seeds[i])
+				fails, cerr := e.runChunk(ctx, spec.Circuit, ent, spec.Decoder, n, seeds[i])
 
 				mu.Lock()
 				if cerr != nil {
@@ -266,8 +339,8 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 				}
 				snapShots, snapFails := accShots, accFails
 				mu.Unlock()
-				if progressed && spec.Progress != nil {
-					spec.Progress(snapShots, snapFails)
+				if progressed {
+					report(snapShots, snapFails)
 				}
 			}
 		}()
@@ -275,6 +348,19 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 	wg.Wait()
 	if evalErr != nil {
 		return Result{}, evalErr
+	}
+	// The last committing worker snapshots totals outside mu and can lose
+	// the delivery race, so guarantee the callback's final call carries the
+	// committed totals Evaluate returns (the monotonic guard deduplicates
+	// if it already did).
+	report(accShots, accFails)
+	e.metrics.shots.Add(int64(accShots))
+	e.metrics.failures.Add(int64(accFails))
+	e.metrics.evaluations.Inc()
+	if stopped {
+		e.metrics.earlyStops.Inc()
+		span.Event("early-stop")
+		span.SetAttr("earlystop", true)
 	}
 	return Result{
 		Result:       decoder.Summarize(accShots, accFails, spec.Rounds),
@@ -305,8 +391,16 @@ func (s *Spec) stopSatisfied(shots, failures int) bool {
 }
 
 // runChunk samples and decodes one shot chunk with its own frame simulator
-// and a pooled decoder, checking ctx between 64-shot batches.
-func runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEntry, kind decoder.DecoderKind, shots int, seed *rng.RNG) (int, error) {
+// and a pooled decoder, checking ctx between 64-shot batches. Each chunk's
+// wall time lands in the mc.decode.latency histogram (skipped entirely on a
+// discarding registry, so the uninstrumented path pays no clock reads).
+func (e *Engine) runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEntry, kind decoder.DecoderKind, shots int, seed *rng.RNG) (int, error) {
+	if e.metrics.latency != nil {
+		start := e.metrics.registry.Now()
+		defer func() {
+			e.metrics.latency.Observe(e.metrics.registry.Now().Sub(start).Nanoseconds())
+		}()
+	}
 	dec := ent.getDecoder(kind)
 	defer ent.putDecoder(kind, dec)
 	fs := sim.NewFrameSimulator(c, seed)

@@ -1,13 +1,17 @@
 package mc
 
 import (
+	"bytes"
 	"caliqec/internal/circuit"
 	"caliqec/internal/code"
 	"caliqec/internal/decoder"
 	"caliqec/internal/lattice"
+	"caliqec/internal/obs"
 	"caliqec/internal/sim"
 	"context"
 	"errors"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -313,5 +317,136 @@ func TestGreedyAgreesRoughly(t *testing.T) {
 	ratio := gr.LER / uf.LER
 	if ratio < 0.3 || ratio > 3.5 {
 		t.Errorf("decoders disagree wildly: greedy %.4g vs union-find %.4g (%.2fx)", gr.LER, uf.LER, ratio)
+	}
+}
+
+// TestProgressMultiWorker: with many workers racing to commit chunks, the
+// callback must still see serialized, strictly increasing shot counts and a
+// guaranteed final call carrying the returned totals.
+func TestProgressMultiWorker(t *testing.T) {
+	c := memCircuit(t, 3, 3, 3e-3)
+	e := New(Options{})
+	var (
+		inCallback atomic.Bool
+		lastShots  = -1
+		lastFails  int
+		calls      int
+	)
+	res := mustEval(t, e, Spec{
+		Circuit: c, Decoder: decoder.KindUnionFind, Shots: 20000, Rounds: 3, Seed: 11, Workers: 8,
+		Progress: func(shots, failures int) {
+			if !inCallback.CompareAndSwap(false, true) {
+				t.Error("Progress called concurrently")
+			}
+			defer inCallback.Store(false)
+			if shots <= lastShots {
+				t.Errorf("progress shots not strictly increasing: %d after %d", shots, lastShots)
+			}
+			if failures < lastFails {
+				t.Errorf("progress failures went backwards: %d after %d", failures, lastFails)
+			}
+			lastShots, lastFails = shots, failures
+			calls++
+		},
+	})
+	if calls == 0 {
+		t.Fatal("progress callback never called")
+	}
+	if lastShots != res.Shots || lastFails != res.Failures {
+		t.Errorf("final progress (%d,%d) != result (%d,%d)", lastShots, lastFails, res.Shots, res.Failures)
+	}
+}
+
+// TestProgressFinalCallEarlyStop: the guaranteed final call also holds when
+// an early-stop criterion truncates the evaluation.
+func TestProgressFinalCallEarlyStop(t *testing.T) {
+	c := memCircuit(t, 3, 3, 2e-2)
+	e := New(Options{})
+	lastShots, lastFails := -1, 0
+	res := mustEval(t, e, Spec{
+		Circuit: c, Decoder: decoder.KindUnionFind, Shots: 200000, Rounds: 3, Seed: 5, Workers: 4,
+		TargetFailures: 20,
+		Progress: func(shots, failures int) {
+			lastShots, lastFails = shots, failures
+		},
+	})
+	if !res.EarlyStopped {
+		t.Fatal("expected an early stop at p=2e-2 with TargetFailures=20")
+	}
+	if lastShots != res.Shots || lastFails != res.Failures {
+		t.Errorf("final progress (%d,%d) != result (%d,%d)", lastShots, lastFails, res.Shots, res.Failures)
+	}
+}
+
+// TestEngineMetrics: an engine wired to a fresh registry records shot,
+// failure, evaluation and cache metrics plus a per-chunk latency histogram.
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	e := New(Options{Metrics: reg})
+	c := memCircuit(t, 3, 3, 3e-3)
+	spec := Spec{Circuit: c, Decoder: decoder.KindUnionFind, Shots: 4096, Rounds: 3, Seed: 3}
+	res := mustEval(t, e, spec)
+	mustEval(t, e, spec) // second run hits the DEM/graph cache
+
+	snap := reg.Snapshot()
+	if got := snap["mc.shots"].(int64); got != int64(2*res.Shots) {
+		t.Errorf("mc.shots = %d, want %d", got, 2*res.Shots)
+	}
+	if got := snap["mc.evaluations"].(int64); got != 2 {
+		t.Errorf("mc.evaluations = %d, want 2", got)
+	}
+	if got := snap["mc.failures"].(int64); got != int64(2*res.Failures) {
+		t.Errorf("mc.failures = %d, want %d", got, 2*res.Failures)
+	}
+	hs := snap["mc.decode.latency"].(obs.HistogramSnapshot)
+	wantChunks := int64(2 * ((spec.Shots + chunkShots - 1) / chunkShots))
+	if hs.Count != wantChunks {
+		t.Errorf("mc.decode.latency count = %d, want %d chunks", hs.Count, wantChunks)
+	}
+	if got := snap["mc.cache.hits"].(float64); got < 1 {
+		t.Errorf("mc.cache.hits = %v, want >= 1 after a repeated evaluation", got)
+	}
+	if got := snap["mc.cache.misses"].(float64); got < 1 {
+		t.Errorf("mc.cache.misses = %v, want >= 1 after a cold evaluation", got)
+	}
+}
+
+// TestEngineDiscardMetrics: an engine on obs.Discard records nothing and
+// still evaluates correctly.
+func TestEngineDiscardMetrics(t *testing.T) {
+	e := New(Options{Metrics: obs.Discard})
+	c := memCircuit(t, 3, 3, 3e-3)
+	res := mustEval(t, e, Spec{Circuit: c, Decoder: decoder.KindUnionFind, Shots: 2048, Rounds: 3, Seed: 3})
+	if res.Shots != 2048 {
+		t.Errorf("Shots = %d, want 2048", res.Shots)
+	}
+	if len(obs.Discard.Snapshot()) != 0 {
+		t.Error("Discard registry must stay empty")
+	}
+}
+
+// TestEvaluateSpan: Evaluate records an mc.evaluate span when the context
+// carries a tracer, with an early-stop instant event when a criterion fires.
+func TestEvaluateSpan(t *testing.T) {
+	tr := obs.NewTracer(nil)
+	ctx := obs.WithTracer(context.Background(), tr)
+	e := New(Options{Metrics: obs.NewRegistry(nil)})
+	c := memCircuit(t, 3, 3, 2e-2)
+	if _, err := e.Evaluate(ctx, Spec{
+		Circuit: c, Decoder: decoder.KindUnionFind, Shots: 200000, Rounds: 3, Seed: 5,
+		TargetFailures: 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"mc.evaluate"`) {
+		t.Errorf("trace missing mc.evaluate span:\n%s", out)
+	}
+	if !strings.Contains(out, `"early-stop"`) {
+		t.Errorf("trace missing early-stop event:\n%s", out)
 	}
 }

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer collects spans and exports them as Chrome trace-event JSON, the
+// format chrome://tracing and Perfetto load directly. A Tracer is attached
+// to a context with WithTracer; StartSpan is a no-op (returning a nil,
+// safe-to-use Span) when the context carries none, so instrumented library
+// code costs two context lookups per span when tracing is off.
+//
+// Span identity: every span gets a process-unique ID from the tracer and
+// remembers the ID of the span active in the context it was started from.
+// Synchronous nesting (a calibration interval containing deformation
+// sessions containing mc evaluations) renders as a stack in the viewer
+// because children share the root span's lane (tid) and their time ranges
+// nest inside the parent's.
+type Tracer struct {
+	clock Clock
+
+	mu     sync.Mutex
+	nextID uint64
+	epoch  time.Time // ts origin; set on first event so fakes stay simple
+	based  bool
+	events []traceEvent
+}
+
+// NewTracer returns an empty tracer reading time from clock (nil means the
+// process wall clock).
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// now reads the tracer's clock and pins the epoch to the first timestamp
+// ever read (a root span's start), so exported ts values are non-negative
+// offsets from the run's beginning.
+func (t *Tracer) now() time.Time {
+	var at time.Time
+	if t.clock == nil {
+		at = wallClock()
+	} else {
+		at = t.clock()
+	}
+	t.mu.Lock()
+	if !t.based {
+		t.epoch = at
+		t.based = true
+	}
+	t.mu.Unlock()
+	return at
+}
+
+// micros converts an absolute time to microseconds since the tracer's
+// epoch.
+func (t *Tracer) micros(at time.Time) float64 {
+	return float64(at.Sub(t.epoch)) / float64(time.Microsecond)
+}
+
+func (t *Tracer) newID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// traceEvent is one Chrome trace-event object. Phase "X" is a complete
+// (begin+duration) event, "i" an instant event.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON exports every recorded event as a Chrome trace-event file
+// ({"traceEvents": [...]}). Events are sorted by (ts, tid, name) so the
+// output is deterministic for a fixed clock regardless of which goroutines
+// ended which spans in what order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Ts != b.Ts { //lint:allow floateq sort key comparison on exact recorded timestamps, not arithmetic results
+			return a.Ts < b.Ts
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// Len reports how many events have been recorded.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context whose StartSpan calls record into tr.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}
+
+// Span is one timed operation. Obtain with StartSpan; a nil *Span (no
+// tracer in the context) is valid and all methods are no-ops, so callers
+// never branch on tracing being enabled. Every span returned by StartSpan
+// must be ended on every path — `defer span.End()` or an explicit End
+// before each return; the `obsspan` lint rule enforces this.
+type Span struct {
+	tr     *Tracer
+	name   string
+	id     uint64
+	parent uint64 // 0 for a root span
+	tid    uint64 // lane: the root span's ID
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// StartSpan begins a span named name as a child of the span active in ctx
+// (if any) and returns a derived context carrying the new span. Without a
+// tracer in ctx it returns ctx unchanged and a nil Span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := &Span{tr: tr, name: name, id: tr.newID(), start: tr.now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp.parent = parent.id
+		sp.tid = parent.tid
+	} else {
+		sp.tid = sp.id
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFrom returns the span active in ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// ID returns the span's process-unique ID (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Parent returns the parent span's ID (0 on nil or root).
+func (s *Span) Parent() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.parent
+}
+
+// SetAttr attaches a key/value attribute, exported in the trace event's
+// args. Safe for concurrent use; last write per key wins.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+}
+
+// Event records an instant event (a zero-duration marker such as
+// "early-stop") on the span's lane at the current clock time.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	at := s.tr.now()
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.tr.events = append(s.tr.events, traceEvent{
+		Name: name, Cat: "event", Phase: "i", Scope: "t",
+		Ts: s.tr.micros(at), PID: 1, TID: s.tid,
+		Args: map[string]any{"span": s.id},
+	})
+}
+
+// End completes the span, recording a complete ("X") trace event with the
+// span's duration and attributes. End is idempotent; only the first call
+// records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	args := map[string]any{"span": s.id}
+	if s.parent != 0 {
+		args["parent"] = s.parent
+	}
+	for k, v := range s.attrs {
+		args[k] = v
+	}
+	s.mu.Unlock()
+
+	end := s.tr.now()
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	ts := s.tr.micros(s.start)
+	s.tr.events = append(s.tr.events, traceEvent{
+		Name: s.name, Cat: "span", Phase: "X",
+		Ts: ts, Dur: float64(end.Sub(s.start)) / float64(time.Microsecond),
+		PID: 1, TID: s.tid, Args: args,
+	})
+}

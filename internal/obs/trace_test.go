@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock ticks one millisecond per read, starting at a fixed epoch, so
+// span timestamps and durations are fully deterministic.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{
+		now:  time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		step: time.Millisecond,
+	}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.now
+	f.now = f.now.Add(f.step)
+	return t
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "noop")
+	if sp != nil {
+		t.Fatal("StartSpan without a tracer must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without a tracer must return ctx unchanged")
+	}
+	// All span methods must be nil-safe.
+	sp.SetAttr("k", 1)
+	sp.Event("e")
+	sp.End()
+	if sp.ID() != 0 || sp.Parent() != 0 {
+		t.Fatal("nil span IDs must read as zero")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(newFakeClock().Now)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "root")
+	ctx2, child := StartSpan(ctx1, "child")
+	_, grand := StartSpan(ctx2, "grandchild")
+
+	if root.Parent() != 0 {
+		t.Errorf("root parent = %d, want 0", root.Parent())
+	}
+	if child.Parent() != root.ID() {
+		t.Errorf("child parent = %d, want root id %d", child.Parent(), root.ID())
+	}
+	if grand.Parent() != child.ID() {
+		t.Errorf("grandchild parent = %d, want child id %d", grand.Parent(), child.ID())
+	}
+	if SpanFrom(ctx2) != child {
+		t.Error("SpanFrom must return the span StartSpan stored")
+	}
+	if TracerFrom(ctx1) != tr {
+		t.Error("TracerFrom must survive span derivation")
+	}
+
+	// Siblings of child must also parent to root, not to child.
+	_, sib := StartSpan(ctx1, "sibling")
+	if sib.Parent() != root.ID() {
+		t.Errorf("sibling parent = %d, want root id %d", sib.Parent(), root.ID())
+	}
+
+	grand.End()
+	child.End()
+	sib.End()
+	root.End()
+	if tr.Len() != 4 {
+		t.Errorf("recorded %d events, want 4", tr.Len())
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(newFakeClock().Now)
+	_, sp := StartSpan(WithTracer(context.Background(), tr), "once")
+	sp.End()
+	sp.End()
+	sp.End()
+	if tr.Len() != 1 {
+		t.Errorf("End must record exactly once, got %d events", tr.Len())
+	}
+}
+
+// TestChromeTraceGolden pins the exact exporter output with a fake clock:
+// the file must stay loadable by chrome://tracing / Perfetto, so the
+// schema (traceEvents array, ph X/i, µs timestamps, tid lanes, args) is a
+// compatibility surface.
+func TestChromeTraceGolden(t *testing.T) {
+	clock := newFakeClock()
+	tr := NewTracer(clock.Now)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "interval") // start t=0ms
+	root.SetAttr("tag", "int0")
+	_, sess := StartSpan(ctx1, "deform.session") // start t=1ms
+	sess.SetAttr("dd", 2)
+	sess.Event("isolate") // t=2ms
+	sess.End()            // end t=3ms
+	root.End()            // end t=4ms
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `{
+  "traceEvents": [
+    {
+      "name": "interval",
+      "cat": "span",
+      "ph": "X",
+      "ts": 0,
+      "dur": 4000,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "span": 1,
+        "tag": "int0"
+      }
+    },
+    {
+      "name": "deform.session",
+      "cat": "span",
+      "ph": "X",
+      "ts": 1000,
+      "dur": 2000,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "dd": 2,
+        "parent": 1,
+        "span": 2
+      }
+    },
+    {
+      "name": "isolate",
+      "cat": "event",
+      "ph": "i",
+      "ts": 2000,
+      "pid": 1,
+      "tid": 1,
+      "s": "t",
+      "args": {
+        "span": 2
+      }
+    }
+  ],
+  "displayTimeUnit": "ms"
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("trace JSON mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	// And it must round-trip as JSON with the fields a viewer needs.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Errorf("event %v missing required field %q", ev["name"], field)
+			}
+		}
+	}
+}
+
+func TestSetAttrAfterEndDropped(t *testing.T) {
+	tr := NewTracer(newFakeClock().Now)
+	_, sp := StartSpan(WithTracer(context.Background(), tr), "s")
+	sp.End()
+	sp.SetAttr("late", true)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("late")) {
+		t.Error("attributes set after End must not appear in the export")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := WithTracer(context.Background(), tr)
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx, sp := StartSpan(ctx, "worker")
+			sp.SetAttr("i", i)
+			_, inner := StartSpan(sctx, "inner")
+			inner.End()
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 2*n {
+		t.Errorf("recorded %d events, want %d", tr.Len(), 2*n)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"caliqec/internal/noise"
 	"caliqec/internal/rng"
 	"caliqec/internal/workload"
+	"context"
 	"math"
 	"testing"
 )
@@ -37,7 +38,7 @@ func TestCaliQECNeverExceedsPTar(t *testing.T) {
 		gates[i].deadline = gates[i].drift.TimeToReach(pTar)
 		gates[i].weight = 1
 	}
-	pol.init(sim, gates)
+	pol.init(context.Background(), sim, gates)
 	for tt := 0.0; tt < 20; tt += cfg.StepHours {
 		pol.step(sim, gates, tt)
 		for i := range gates {
@@ -72,7 +73,7 @@ func TestNoCalRiskMonotoneInHorizon(t *testing.T) {
 	for _, par := range []float64{30, 10, 3} { // higher parallelism = shorter program
 		cfg := testConfig()
 		cfg.Prog.Parallelism = par
-		res, err := Run(cfg, StrategyNoCal)
+		res, err := Run(context.Background(), cfg, StrategyNoCal)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,13 +120,13 @@ func TestPTarForRejectsHopelessDistance(t *testing.T) {
 // the calibration volume, roughly.
 func TestFutureModelNeedsFewerCalibrations(t *testing.T) {
 	cur := testConfig()
-	res1, err := Run(cur, StrategyCaliQEC)
+	res1, err := Run(context.Background(), cur, StrategyCaliQEC)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fut := testConfig()
 	fut.Model = noise.FutureModel()
-	res2, err := Run(fut, StrategyCaliQEC)
+	res2, err := Run(context.Background(), fut, StrategyCaliQEC)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,11 +24,14 @@ import (
 	"caliqec/internal/ftqc"
 	"caliqec/internal/ler"
 	"caliqec/internal/noise"
+	"caliqec/internal/obs"
 	"caliqec/internal/rng"
 	"caliqec/internal/sched"
 	"caliqec/internal/workload"
+	"context"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Strategy selects the calibration policy (§7.3's baselines and CaliQEC).
@@ -168,9 +171,16 @@ func lnParams(m noise.Model) (mu, sigma float64) {
 	return
 }
 
-// Run evaluates one strategy.
-func Run(cfg Config, strat Strategy) (*Result, error) {
+// Run evaluates one strategy. The context cancels the patch simulation
+// between time steps and carries the optional obs tracer; retry risk and
+// calibration volume land in the obs.Default registry as
+// runtime.retry_risk.<strategy> / runtime.calibrations.<strategy> gauges.
+func Run(ctx context.Context, cfg Config, strat Strategy) (*Result, error) {
 	cfg.fill()
+	ctx, span := obs.StartSpan(ctx, "runtime.run")
+	defer span.End()
+	span.SetAttr("strategy", strat.String())
+	span.SetAttr("d", cfg.D)
 	r := rng.New(cfg.Seed ^ uint64(strat)<<32)
 	execBase := ftqc.ExecTimeHours(cfg.Prog, cfg.D)
 	pTar, err := PTarFor(&cfg)
@@ -195,19 +205,24 @@ func Run(cfg Config, strat Strategy) (*Result, error) {
 	sim := newSimulator(&cfg, r, execBase, pTar)
 	switch strat {
 	case StrategyNoCal:
-		sim.run(policyNoCal{})
+		err = sim.run(ctx, policyNoCal{})
 	case StrategyCaliQEC:
-		sim.run(newPolicyCaliQEC(pTar))
+		err = sim.run(ctx, newPolicyCaliQEC(pTar))
 	case StrategyLSC:
 		pol := newPolicyLSC(&cfg, pTar)
-		sim.run(pol)
+		err = sim.run(ctx, pol)
 		// Execution-time overhead: stalls proportional to the fraction of
 		// the logical plane parked at any time.
 		parkedFrac := pol.outageHours * sim.patchScale / (execBase * float64(cfg.Prog.LogicalQubits))
 		res.ExecHours = execBase * (1 + cfg.LSCStallFactor*parkedFrac)
 	}
+	if err != nil {
+		return nil, err
+	}
 	res.RetryRisk, res.MeanLER = sim.results()
 	res.Calibrations = sim.cals * sim.patchScale // gate weights already scale to the full patch
+	obs.Default.Gauge("runtime.retry_risk." + strat.String()).Set(res.RetryRisk)
+	obs.Default.Gauge("runtime.calibrations." + strat.String()).Set(res.Calibrations)
 	return res, nil
 }
 
@@ -269,14 +284,15 @@ func newSimulator(cfg *Config, r *rng.RNG, horizon, pTar float64) *simulator {
 
 // policy drives calibration decisions for one patch.
 type policy interface {
-	// init is called once per patch after its gates are sampled.
-	init(s *simulator, gates []gateState)
+	// init is called once per patch after its gates are sampled; ctx
+	// carries the optional obs tracer for calibration-group spans.
+	init(ctx context.Context, s *simulator, gates []gateState)
 	// step may calibrate gates (set gates[i].last, increment s.cals) at
 	// time t.
 	step(s *simulator, gates []gateState, t float64)
 }
 
-func (s *simulator) run(pol policy) {
+func (s *simulator) run(ctx context.Context, pol policy) error {
 	mu, sigma := lnParams(s.cfg.Model)
 	full := s.cfg.GatesPerPatch
 	tail := tailExact
@@ -306,12 +322,16 @@ func (s *simulator) run(pol policy) {
 				gates[i].deadline = math.Inf(1)
 			}
 		}
-		pol.init(s, gates)
+		pol.init(ctx, s, gates)
 		for t := 0.0; t < s.horizon; t += s.cfg.StepHours {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			pol.step(s, gates, t)
 			s.accumulate(gates, t)
 		}
 	}
+	return nil
 }
 
 // accumulate folds the patch's instantaneous LER into the risk integral.
@@ -390,8 +410,8 @@ func clampP(u float64) float64 {
 // policyNoCal never calibrates (Baseline 1).
 type policyNoCal struct{}
 
-func (policyNoCal) init(*simulator, []gateState)          {}
-func (policyNoCal) step(*simulator, []gateState, float64) {}
+func (policyNoCal) init(context.Context, *simulator, []gateState) {}
+func (policyNoCal) step(*simulator, []gateState, float64)         {}
 
 // policyCaliQEC calibrates each gate at its Algorithm-1 group period,
 // in situ: no stalls, never exceeding p_tar.
@@ -402,7 +422,7 @@ type policyCaliQEC struct {
 
 func newPolicyCaliQEC(pTar float64) *policyCaliQEC { return &policyCaliQEC{pTar: pTar} }
 
-func (p *policyCaliQEC) init(s *simulator, gates []gateState) {
+func (p *policyCaliQEC) init(ctx context.Context, s *simulator, gates []gateState) {
 	p.period = make([]float64, len(gates))
 	var due []sched.GateProfile
 	for i := range gates {
@@ -422,6 +442,21 @@ func (p *policyCaliQEC) init(s *simulator, gates []gateState) {
 			p.period[g.GateID] = gates[g.GateID].deadline
 		}
 		return
+	}
+	// One span per Algorithm-1 calibration group, in sorted-k order so the
+	// trace is deterministic: the timeline shows which period multiples the
+	// grouping chose and how many gates each absorbed.
+	ks := make([]int, 0, len(gr.Groups))
+	for k := range gr.Groups {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		_, gsp := obs.StartSpan(ctx, "runtime.group")
+		gsp.SetAttr("k", k)
+		gsp.SetAttr("gates", len(gr.Groups[k]))
+		gsp.SetAttr("period_hours", float64(k)*gr.TCaliHours)
+		gsp.End()
 	}
 	for id, k := range gr.Period {
 		p.period[id] = float64(k) * gr.TCaliHours
@@ -467,7 +502,7 @@ func newPolicyLSC(cfg *Config, pTar float64) *policyLSC {
 	return &policyLSC{cfg: cfg, pTar: pTar, period: period, utilization: 0.9}
 }
 
-func (p *policyLSC) init(s *simulator, gates []gateState) { p.nextPark = 0 }
+func (p *policyLSC) init(ctx context.Context, s *simulator, gates []gateState) { p.nextPark = 0 }
 
 func (p *policyLSC) step(s *simulator, gates []gateState, t float64) {
 	if t < p.nextPark {

@@ -1,7 +1,11 @@
 package runtime
 
 import (
+	"bytes"
+	"caliqec/internal/obs"
 	"caliqec/internal/workload"
+	"context"
+	"strings"
 	"testing"
 )
 
@@ -17,15 +21,15 @@ func TestTable2Shape(t *testing.T) {
 		RetryTarget: 0.01,
 		Seed:        7,
 	}
-	noCal, err := Run(cfg, StrategyNoCal)
+	noCal, err := Run(context.Background(), cfg, StrategyNoCal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lsc, err := Run(cfg, StrategyLSC)
+	lsc, err := Run(context.Background(), cfg, StrategyLSC)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cq, err := Run(cfg, StrategyCaliQEC)
+	cq, err := Run(context.Background(), cfg, StrategyCaliQEC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +82,7 @@ func TestExecTimeNearPaper(t *testing.T) {
 	}
 	for _, c := range cases {
 		cfg := Config{Prog: c.prog, D: c.d, RetryTarget: 0.01, Seed: 1}
-		r, err := Run(cfg, StrategyNoCal)
+		r, err := Run(context.Background(), cfg, StrategyNoCal)
 		if err != nil {
 			t.Fatalf("%s: %v", c.prog.Name, err)
 		}
@@ -105,7 +109,7 @@ func TestQubitCountNearPaper(t *testing.T) {
 	}
 	for _, c := range cases {
 		cfg := Config{Prog: c.prog, D: c.d, RetryTarget: 0.01, Seed: 1}
-		r, err := Run(cfg, StrategyNoCal)
+		r, err := Run(context.Background(), cfg, StrategyNoCal)
 		if err != nil {
 			t.Fatalf("%s: %v", c.prog.Name, err)
 		}
@@ -113,5 +117,56 @@ func TestQubitCountNearPaper(t *testing.T) {
 		if ratio < 0.8 || ratio > 1.25 {
 			t.Errorf("%s d=%d: %.3g qubits vs paper %.3g (ratio %.2f)", c.prog.Name, c.d, r.PhysicalQubits, c.qubits, ratio)
 		}
+	}
+}
+
+// TestRunCanceled: a pre-canceled context aborts the patch simulation.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: 7}
+	if _, err := Run(ctx, cfg, StrategyCaliQEC); err == nil {
+		t.Fatal("canceled context must abort Run")
+	}
+}
+
+// TestRunRecordsRetryRiskGauge: every Run publishes its retry risk and
+// calibration volume as per-strategy gauges in the default registry.
+func TestRunRecordsRetryRiskGauge(t *testing.T) {
+	cfg := Config{Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: 7}
+	res, err := Run(context.Background(), cfg, StrategyCaliQEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := obs.Default.Gauge("runtime.retry_risk." + StrategyCaliQEC.String())
+	if g.Value() != res.RetryRisk { //lint:allow floateq the gauge stores the exact value Run computed
+		t.Errorf("gauge = %v, want %v", g.Value(), res.RetryRisk)
+	}
+	c := obs.Default.Gauge("runtime.calibrations." + StrategyCaliQEC.String())
+	if c.Value() != res.Calibrations { //lint:allow floateq the gauge stores the exact value Run computed
+		t.Errorf("calibrations gauge = %v, want %v", c.Value(), res.Calibrations)
+	}
+}
+
+// TestRunGroupSpans: with a tracer in the context, CaliQEC's Algorithm-1
+// grouping emits one runtime.group span per period class, nested under
+// runtime.run.
+func TestRunGroupSpans(t *testing.T) {
+	tr := obs.NewTracer(nil)
+	ctx := obs.WithTracer(context.Background(), tr)
+	cfg := Config{Prog: workload.Hubbard(10, 10), D: 25, RetryTarget: 0.01, Seed: 7}
+	if _, err := Run(ctx, cfg, StrategyCaliQEC); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"runtime.run"`) {
+		t.Error("trace missing runtime.run span")
+	}
+	if !strings.Contains(out, `"runtime.group"`) {
+		t.Error("trace missing runtime.group spans")
 	}
 }

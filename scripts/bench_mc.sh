@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs the mc-engine benchmark pair (cached sweep + obs overhead), writes the
+# parsed results to BENCH_mc.json, and fails if the observability layer costs
+# the warm cached sweep more than 5%. CI runs this on every push; the
+# committed BENCH_mc.json is the trajectory point for the checked-out commit.
+#
+# Usage: scripts/bench_mc.sh [benchtime]   (default 20x)
+set -eu
+benchtime="${1:-20x}"
+out="$(go test -run '^$' -bench 'BenchmarkEngineCachedSweep|BenchmarkObsOverhead' -benchtime "$benchtime" -count 1 .)"
+echo "$out"
+echo "$out" | awk -v benchtime="$benchtime" '
+/^Benchmark/ {
+    # e.g. BenchmarkObsOverhead/recording-8   20   4446020 ns/op
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns[name] = $3
+    order[n++] = name
+}
+END {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"ns_per_op\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  }"
+    off = ns["ObsOverhead/discard"]; on = ns["ObsOverhead/recording"]
+    if (off > 0 && on > 0) {
+        ratio = on / off
+        printf ",\n  \"obs_overhead_ratio\": %.4f\n", ratio
+        printf "}\n"
+        if (ratio > 1.05) {
+            printf "FAIL: obs overhead %.1f%% exceeds the 5%% budget\n", (ratio-1)*100 > "/dev/stderr"
+            exit 1
+        }
+    } else {
+        printf "\n}\n"
+        printf "FAIL: ObsOverhead results missing from benchmark output\n" > "/dev/stderr"
+        exit 1
+    }
+}' > BENCH_mc.json
+cat BENCH_mc.json
