@@ -212,6 +212,74 @@ func BenchmarkEngineCachedSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineBatchSweep measures the tentpole batching win: an 8-patch
+// parameter sweep (8 structurally distinct d=3 circuits at different noise
+// levels) evaluated one spec at a time versus as one EvaluateBatch over the
+// shared chunk scheduler. "cold" pays DEM extraction + graph construction
+// per circuit (fresh engine each iteration); "warm" isolates the steady
+// state (caches primed, simulator/decoder pools populated), where allocs/op
+// is the number to watch. CI asserts batch-cold beats sequential-cold by at
+// least 1.3× (scripts/bench_mc.sh).
+func BenchmarkEngineBatchSweep(b *testing.B) {
+	const (
+		patches = 8
+		shots   = 4096
+	)
+	specs := make([]mc.Spec, patches)
+	for i := 0; i < patches; i++ {
+		p := memoryCircuit(b, 3)
+		noise := 1.5e-3 + 0.5e-3*float64(i)
+		c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(noise)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Seed (not RNG) keeps the specs reusable across b.N iterations.
+		specs[i] = mc.Spec{
+			Circuit: c, Decoder: decoder.KindUnionFind,
+			Shots: shots, Rounds: 3, Seed: uint64(i + 1),
+		}
+	}
+	ctx := context.Background()
+	sequential := func(b *testing.B, eng *mc.Engine) {
+		for _, s := range specs {
+			if _, err := eng.Evaluate(ctx, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	batch := func(b *testing.B, eng *mc.Engine) {
+		if _, err := eng.EvaluateBatch(ctx, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, bench := range []struct {
+		name string
+		run  func(*testing.B, *mc.Engine)
+	}{
+		{"sequential-cold", sequential},
+		{"batch-cold", batch},
+		{"sequential-warm", sequential},
+		{"batch-warm", batch},
+	} {
+		warm := bench.name == "sequential-warm" || bench.name == "batch-warm"
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			if warm {
+				eng := mc.New(mc.Options{})
+				bench.run(b, eng) // prime caches and pools
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bench.run(b, eng)
+				}
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				bench.run(b, mc.New(mc.Options{}))
+			}
+		})
+	}
+}
+
 // BenchmarkIsolateReintegrate measures one full isolation/reintegration
 // deformation cycle on a d=7 square patch.
 func BenchmarkIsolateReintegrate(b *testing.B) {

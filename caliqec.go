@@ -332,3 +332,42 @@ func (s *System) MeasureLERContext(ctx context.Context, nowHours float64, rounds
 	}
 	return res.Result, nil
 }
+
+// MeasureLERSweep Monte-Carlo-samples the current patch at several round
+// counts in one batched evaluation; see MeasureLERSweepContext.
+func (s *System) MeasureLERSweep(nowHours float64, rounds []int, shots int) ([]decoder.Result, error) {
+	return s.MeasureLERSweepContext(context.Background(), nowHours, rounds, shots)
+}
+
+// MeasureLERSweepContext measures the current patch's per-round logical
+// error rate at each entry of rounds, evaluating all memory experiments as
+// one batch over the engine's shared chunk scheduler so the sweep saturates
+// the worker pool even when individual configurations are small. Each
+// configuration draws its generator from the system RNG in rounds order —
+// exactly as the equivalent sequence of MeasureLERContext calls would — so
+// results match one-at-a-time measurement bit for bit.
+func (s *System) MeasureLERSweepContext(ctx context.Context, nowHours float64, rounds []int, shots int) ([]decoder.Result, error) {
+	nm := s.Device.NoiseAt(nowHours)
+	specs := make([]mc.Spec, 0, len(rounds))
+	for _, r := range rounds {
+		c, err := s.Deformer.Patch.MemoryCircuit(code.MemoryOptions{
+			Rounds: r, Basis: lattice.BasisZ, Noise: nm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, mc.Spec{
+			Circuit: c, Decoder: decoder.KindUnionFind,
+			Shots: shots, Rounds: r, RNG: s.rng.Split(),
+		})
+	}
+	batch, err := mc.EvaluateBatch(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]decoder.Result, len(batch))
+	for i, res := range batch {
+		out[i] = res.Result
+	}
+	return out, nil
+}

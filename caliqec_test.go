@@ -1,6 +1,7 @@
 package caliqec
 
 import (
+	"caliqec/internal/decoder"
 	"caliqec/internal/lattice"
 	"testing"
 )
@@ -97,6 +98,47 @@ func TestMeasureLER(t *testing.T) {
 	t.Logf("fresh=%v drifted=%v", fresh, drifted)
 	if drifted.LER <= fresh.LER {
 		t.Errorf("24h drift did not raise LER: %.4g vs %.4g", drifted.LER, fresh.LER)
+	}
+}
+
+// TestMeasureLERSweepMatchesSequential pins the facade's batched sweep to
+// the sequential API: twin systems with the same seed must report identical
+// results whether the round counts are measured one at a time or as one
+// EvaluateBatch, because the sweep draws per-spec generators from the
+// system RNG in the same order the sequential calls would.
+func TestMeasureLERSweepMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	const shots = 4000
+	rounds := []int{3, 5}
+	sys1, err := NewSystem(Square, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := NewSystem(Square, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []decoder.Result
+	for _, r := range rounds {
+		res, err := sys1.MeasureLER(0, r, shots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	got, err := sys2.MeasureLERSweep(0, rounds, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sweep returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rounds=%d: sweep %+v != sequential %+v", rounds[i], got[i], want[i])
+		}
 	}
 }
 

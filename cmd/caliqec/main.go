@@ -5,7 +5,7 @@
 //	caliqec characterize -topology square -d 5       preparation stage
 //	caliqec schedule     -topology hex -d 5 -ler 1e-3 compilation stage
 //	caliqec run          -d 5 -intervals 4           full in-situ loop
-//	caliqec simulate     -d 3 -p 2e-3 -shots 20000   Monte-Carlo LER
+//	caliqec simulate     -d 3,5,7 -p 2e-3 -shots 20000   Monte-Carlo LER sweep (batched)
 //	caliqec vet          -d 3                        static IR + deformation-log checks
 //	caliqec instructions                             print Table 1
 package main
@@ -26,6 +26,8 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 )
 
@@ -213,13 +215,34 @@ func cmdRun(args []string) (err error) {
 	return nil
 }
 
+// parseDistances parses the simulate -d value: a single distance or a
+// comma-separated list for a batched multi-distance sweep.
+func parseDistances(s string) ([]int, error) {
+	var ds []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil || d < 3 || d%2 == 0 {
+			return nil, fmt.Errorf("invalid distance %q (want odd integers ≥ 3, comma-separated)", part)
+		}
+		ds = append(ds, d)
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("no distances in %q", s)
+	}
+	return ds, nil
+}
+
 func cmdSimulate(args []string) (err error) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	topo := topoFlag(fs)
-	d := fs.Int("d", 3, "code distance")
+	dList := fs.String("d", "3", "code distance, or comma-separated distances (e.g. 3,5,7) for one batched sweep")
 	p := fs.Float64("p", 1e-3, "physical error rate")
-	rounds := fs.Int("rounds", 0, "QEC rounds (default d)")
-	shots := fs.Int("shots", 20000, "Monte-Carlo shot budget")
+	rounds := fs.Int("rounds", 0, "QEC rounds (default: the distance)")
+	shots := fs.Int("shots", 20000, "Monte-Carlo shot budget per distance")
 	seed := fs.Uint64("seed", 1, "random seed")
 	isolate := fs.Bool("isolate", false, "isolate the central data qubit first (DataQ_RM)")
 	targetFails := fs.Int("target-failures", 0, "stop early once this many logical failures are seen (0 = run the full budget)")
@@ -230,29 +253,53 @@ func cmdSimulate(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	if *rounds == 0 {
-		*rounds = *d
+	ds, err := parseDistances(*dList)
+	if err != nil {
+		return err
 	}
-	var lat *lattice.Lattice
-	if tp == caliqec.Square {
-		lat = lattice.NewSquare(*d)
-	} else {
-		lat = lattice.NewHeavyHex(*d)
-	}
-	patch := code.NewPatch(lat)
-	if *isolate {
-		df := deform.NewDeformer(patch)
-		q := lat.DataID[[2]int{*d / 2, *d / 2}]
-		rec, err := df.IsolateQubit(q, "cli")
+	specs := make([]mc.Spec, len(ds))
+	roundsOf := make([]int, len(ds))
+	for i, d := range ds {
+		r := *rounds
+		if r == 0 {
+			r = d
+		}
+		roundsOf[i] = r
+		var lat *lattice.Lattice
+		if tp == caliqec.Square {
+			lat = lattice.NewSquare(d)
+		} else {
+			lat = lattice.NewHeavyHex(d)
+		}
+		patch := code.NewPatch(lat)
+		if *isolate {
+			df := deform.NewDeformer(patch)
+			q := lat.DataID[[2]int{d / 2, d / 2}]
+			rec, err := df.IsolateQubit(q, "cli")
+			if err != nil {
+				return err
+			}
+			patch = df.Patch
+			fmt.Printf("d=%d: isolated qubit %d: %v\n", d, q, rec)
+		}
+		c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: r, Basis: lattice.BasisZ, Noise: code.UniformNoise(*p)})
 		if err != nil {
 			return err
 		}
-		patch = df.Patch
-		fmt.Printf("isolated qubit %d: %v\n", q, rec)
-	}
-	c, err := patch.MemoryCircuit(code.MemoryOptions{Rounds: *rounds, Basis: lattice.BasisZ, Noise: code.UniformNoise(*p)})
-	if err != nil {
-		return err
+		// Each distance seeds its own generator (seed+i, so a single -d run
+		// reproduces the historical rng.New(seed) stream exactly); batching
+		// the sweep cannot perturb any distance's result.
+		specs[i] = mc.Spec{
+			Circuit: c, Decoder: decoder.KindUnionFind,
+			Shots: *shots, Rounds: r, RNG: rng.New(*seed + uint64(i)),
+			TargetFailures: *targetFails,
+		}
+		if *progress {
+			d := d
+			specs[i].Progress = func(done, failures int) {
+				fmt.Fprintf(os.Stderr, "\rd=%d: %d/%d shots, %d failures", d, done, *shots, failures)
+			}
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -262,26 +309,18 @@ func cmdSimulate(args []string) (err error) {
 			err = ferr
 		}
 	}()
-	spec := mc.Spec{
-		Circuit: c, Decoder: decoder.KindUnionFind,
-		Shots: *shots, Rounds: *rounds, RNG: rng.New(*seed),
-		TargetFailures: *targetFails,
-	}
-	if *progress {
-		spec.Progress = func(done, failures int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d shots, %d failures", done, *shots, failures)
-		}
-	}
-	res, err := mc.Evaluate(ctx, spec)
+	results, err := mc.EvaluateBatch(ctx, specs)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%v d=%d p=%.3g rounds=%d: %v (per-round %.4g)\n", tp, *d, *p, *rounds, res.Result, res.PerRoundLER)
-	if res.EarlyStopped {
-		fmt.Printf("early stop: %d of %d budgeted shots spent\n", res.Shots, res.Requested)
+	for i, res := range results {
+		fmt.Printf("%v d=%d p=%.3g rounds=%d: %v (per-round %.4g)\n", tp, ds[i], *p, roundsOf[i], res.Result, res.PerRoundLER)
+		if res.EarlyStopped {
+			fmt.Printf("early stop: %d of %d budgeted shots spent\n", res.Shots, res.Requested)
+		}
 	}
 	return nil
 }

@@ -8,6 +8,12 @@
 //	repro -exp table2 -seed 7 # alternate seed
 //	repro -exp fig13 -progress # live Monte-Carlo status on stderr
 //
+// Experiments that sample several Monte-Carlo configurations (fit, fig13,
+// cycle, the ablations) evaluate them as one batch over the engine's shared
+// chunk scheduler, so -progress lines from co-scheduled specs interleave;
+// each line is prefixed with its spec's label. Batching changes wall-clock
+// only — every reported number is identical to sequential evaluation.
+//
 // Interrupting (Ctrl-C) cancels the in-flight Monte-Carlo evaluation
 // promptly instead of waiting for the shot budget to drain.
 package main

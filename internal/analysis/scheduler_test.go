@@ -1,0 +1,129 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caliqec/internal/analysis"
+)
+
+// schedulerRules are the rules the batch scheduler is most exposed to: it
+// spawns per-spec span-waiter goroutines (obsspan), threads one context
+// through every worker (ctxfirst), and derives all chunk seeds from spec
+// generators rather than ambient randomness (nakedrand).
+func schedulerRules() []*analysis.Rule {
+	return []*analysis.Rule{analysis.ObsSpan(), analysis.CtxFirst(), analysis.NakedRand()}
+}
+
+// TestBatchSchedulerCodeClean lints the real engine and simulator packages —
+// the code EvaluateBatch lives in — and requires zero diagnostics from the
+// scheduler-critical rules. This is a regression guard: a refactor that,
+// say, stores per-spec spans in a slice and ends them after the pool drains
+// (instead of one waiter goroutine per spec) trips obsspan here before it
+// trips the repo-wide caliqec-lint run.
+func TestBatchSchedulerCodeClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./internal/mc", "./internal/sim")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	targetDirs := map[string]bool{}
+	for _, p := range pkgs {
+		if p.Target {
+			targetDirs[p.Dir] = true
+		}
+	}
+	if len(targetDirs) != 2 {
+		t.Fatalf("expected 2 target packages, got %d", len(targetDirs))
+	}
+	for _, d := range analysis.Run(pkgs, schedulerRules()) {
+		if targetDirs[filepath.Dir(d.Pos.Filename)] {
+			t.Errorf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+		}
+	}
+}
+
+// batch-scheduler fixture: the distilled shape of EvaluateBatch — a parent
+// span over the batch, one waiter goroutine per spec ending its own span,
+// context first everywhere, seeds passed in rather than drawn ambiently.
+const schedulerCleanFixture = `package mc
+
+import (
+	"context"
+	"sync"
+
+	"fixture/obs"
+)
+
+type state struct {
+	mu   sync.Mutex
+	next int
+	done chan struct{}
+}
+
+func runBatch(ctx context.Context, seeds []uint64, states []*state) error {
+	ctx, sp := obs.StartSpan(ctx, "mc.evaluate_batch")
+	defer sp.End()
+	sp.SetAttr("specs", len(states))
+	var wg sync.WaitGroup
+	for _, st := range states {
+		wg.Add(1)
+		go func(st *state) {
+			defer wg.Done()
+			_, child := obs.StartSpan(ctx, "mc.evaluate")
+			defer child.End()
+			<-st.done
+		}(st)
+	}
+	for _, st := range states {
+		st.mu.Lock()
+		st.next = int(seeds[0] % 2)
+		close(st.done)
+		st.mu.Unlock()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+`
+
+// The same shape with the three classic mistakes wired in: the batch span is
+// never ended, the context rides in the last parameter slot, and chunk seeds
+// come from the global math/rand stream.
+const schedulerDirtyFixture = `package mc
+
+import (
+	"context"
+	"math/rand"
+
+	"fixture/obs"
+)
+
+func runBatch(states []int, ctx context.Context) int {
+	_, sp := obs.StartSpan(ctx, "mc.evaluate_batch")
+	sp.SetAttr("specs", len(states))
+	return rand.Int()
+}
+`
+
+// TestBatchSchedulerFixture pins what the rules catch on scheduler-shaped
+// code: the faithful miniature passes all three rules, and the mutated
+// variant fires each of them exactly once.
+func TestBatchSchedulerFixture(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		diags := lint(t, map[string]string{
+			"obs/obs.go": obsFixture,
+			"mc/mc.go":   schedulerCleanFixture,
+		}, schedulerRules()...)
+		wantCounts(t, diags, nil)
+	})
+	t.Run("dirty", func(t *testing.T) {
+		diags := lint(t, map[string]string{
+			"obs/obs.go": obsFixture,
+			"mc/mc.go":   schedulerDirtyFixture,
+		}, schedulerRules()...)
+		wantCounts(t, diags, map[string]int{"obsspan": 1, "ctxfirst": 1, "nakedrand": 1})
+	})
+}

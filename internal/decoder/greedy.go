@@ -18,16 +18,23 @@ type Greedy struct {
 	via  []int // edge used to reach node in Dijkstra
 	mark []int // visit stamp
 	gen  int
+
+	// Dijkstra scratch, reused across calls (one Dijkstra runs per defect
+	// per Decode, so per-call allocations here dominate batch decoding).
+	settled    []int // settle stamp, valid when == settledGen
+	settledGen int
+	q          pq
 }
 
 // NewGreedy returns a greedy matching decoder over g.
 func NewGreedy(g *Graph) *Greedy {
 	n := g.NumDetectors + 1
 	return &Greedy{
-		g:    g,
-		dist: make([]float64, n),
-		via:  make([]int, n),
-		mark: make([]int, n),
+		g:       g,
+		dist:    make([]float64, n),
+		via:     make([]int, n),
+		mark:    make([]int, n),
+		settled: make([]int, n),
 	}
 }
 
@@ -54,17 +61,17 @@ func (p *pq) Pop() interface{} {
 // distance/parent arrays (valid for entries stamped with the current gen).
 func (d *Greedy) dijkstra(src int) {
 	d.gen++
-	q := pq{{src, 0}}
+	d.settledGen++
+	q := append(d.q[:0], pqItem{src, 0})
 	d.dist[src] = 0
 	d.via[src] = -1
 	d.mark[src] = d.gen
-	settled := map[int]bool{}
 	for len(q) > 0 {
 		it := heap.Pop(&q).(pqItem)
-		if settled[it.node] {
+		if d.settled[it.node] == d.settledGen {
 			continue
 		}
-		settled[it.node] = true
+		d.settled[it.node] = d.settledGen
 		for _, ei := range d.g.Adj[it.node] {
 			e := &d.g.Edges[ei]
 			y := e.U
@@ -80,6 +87,7 @@ func (d *Greedy) dijkstra(src int) {
 			}
 		}
 	}
+	d.q = q[:0]
 }
 
 // pathObs walks parents from dst back to the Dijkstra source, XOR-ing edge

@@ -19,22 +19,42 @@ type UnionFind struct {
 	grown   []bool
 	// Per-root candidate boundary edge list (lazily cleaned).
 	frontier [][]int
+
+	// Root-set scratch: rootList holds current cluster roots in insertion
+	// order (a deterministic replacement for the old map-based set, whose
+	// iteration order could reorder tie-breaking unions between runs);
+	// isRoot marks membership.
+	rootList []int
+	isRoot   []bool
+	added    []bool // node's adjacency already pushed to a frontier
+	act      []int  // active roots this growth round
+	satur    []int  // edges saturated this growth round
+
+	// Peeling scratch.
+	parentEdge []int
+	order      []int
+	stack      []int
+	carry      []bool
 }
 
 // NewUnionFind returns a union-find decoder over g.
 func NewUnionFind(g *Graph) *UnionFind {
 	n := g.NumDetectors + 1
 	return &UnionFind{
-		g:        g,
-		parent:   make([]int, n),
-		rank:     make([]int, n),
-		parity:   make([]int, n),
-		hasBnd:   make([]bool, n),
-		visited:  make([]bool, n),
-		defect:   make([]bool, n),
-		grow:     make([]int, len(g.Edges)),
-		grown:    make([]bool, len(g.Edges)),
-		frontier: make([][]int, n),
+		g:          g,
+		parent:     make([]int, n),
+		rank:       make([]int, n),
+		parity:     make([]int, n),
+		hasBnd:     make([]bool, n),
+		visited:    make([]bool, n),
+		defect:     make([]bool, n),
+		grow:       make([]int, len(g.Edges)),
+		grown:      make([]bool, len(g.Edges)),
+		frontier:   make([][]int, n),
+		isRoot:     make([]bool, n),
+		added:      make([]bool, n),
+		parentEdge: make([]int, n),
+		carry:      make([]bool, n),
 	}
 }
 
@@ -61,12 +81,13 @@ func (u *UnionFind) union(a, b int) int {
 	u.parity[a] ^= u.parity[b]
 	u.hasBnd[a] = u.hasBnd[a] || u.hasBnd[b]
 	// Concatenate frontier lists; stale (internal or fully grown) entries
-	// are discarded lazily during growth.
+	// are discarded lazily during growth. Truncate (rather than nil) the
+	// absorbed list so its backing array is reused by later Decode calls.
 	if len(u.frontier[a]) < len(u.frontier[b]) {
 		u.frontier[a], u.frontier[b] = u.frontier[b], u.frontier[a]
 	}
 	u.frontier[a] = append(u.frontier[a], u.frontier[b]...)
-	u.frontier[b] = nil
+	u.frontier[b] = u.frontier[b][:0]
 	return a
 }
 
@@ -88,6 +109,8 @@ func (u *UnionFind) Decode(syndrome []int) uint64 {
 		u.parity[i] = 0
 		u.hasBnd[i] = false
 		u.defect[i] = false
+		u.isRoot[i] = false
+		u.added[i] = false
 		u.frontier[i] = u.frontier[i][:0]
 	}
 	for i := range u.grow {
@@ -96,37 +119,49 @@ func (u *UnionFind) Decode(syndrome []int) uint64 {
 	}
 	u.hasBnd[g.Boundary] = true
 
-	roots := map[int]bool{}
-	added := make([]bool, n) // node's adjacency already pushed to a frontier
+	u.rootList = u.rootList[:0]
 	for _, d := range syndrome {
 		u.defect[d] = true
 		u.parity[d] = 1
 		u.frontier[d] = append(u.frontier[d], g.Adj[d]...)
-		added[d] = true
-		roots[d] = true
+		u.added[d] = true
+		if !u.isRoot[d] {
+			u.isRoot[d] = true
+			u.rootList = append(u.rootList, d)
+		}
 	}
 
 	// Growth rounds: every active cluster grows each frontier edge by one
-	// unit; saturated edges merge clusters.
+	// unit; saturated edges merge clusters. Roots are processed in
+	// insertion order, so union tie-breaks resolve identically on every
+	// run.
 	for {
-		// Gather current active roots.
-		var act []int
-		for r := range roots {
+		// Canonicalize and compact the root list: map each entry to its
+		// current root, dropping merged-away and duplicate entries.
+		live := u.rootList[:0]
+		for _, r := range u.rootList {
 			rr := u.find(r)
-			if rr != r {
-				delete(roots, r)
-				roots[rr] = true
+			if u.isRoot[rr] {
+				u.isRoot[rr] = false // claim, so duplicates drop below
+				live = append(live, rr)
 			}
 		}
-		for r := range roots {
+		u.rootList = live
+		for _, r := range u.rootList {
+			u.isRoot[r] = true
+		}
+		// Gather current active roots.
+		act := u.act[:0]
+		for _, r := range u.rootList {
 			if u.active(r) {
 				act = append(act, r)
 			}
 		}
+		u.act = act
 		if len(act) == 0 {
 			break
 		}
-		var saturated []int
+		saturated := u.satur[:0]
 		progress := false
 		for _, r := range act {
 			fr := u.frontier[r][:0]
@@ -150,6 +185,7 @@ func (u *UnionFind) Decode(syndrome []int) uint64 {
 			}
 			u.frontier[r] = fr
 		}
+		u.satur = saturated
 		if !progress {
 			// Disconnected defect with nowhere to grow: give up on it
 			// rather than spinning (its correction is unknowable anyway).
@@ -160,9 +196,9 @@ func (u *UnionFind) Decode(syndrome []int) uint64 {
 			ru, rv := u.find(e.U), u.find(e.V)
 			// A newly absorbed endpoint contributes its incident edges to
 			// the merged cluster's frontier (the boundary node never grows).
-			for _, v := range []int{e.U, e.V} {
-				if !added[v] && v != g.Boundary {
-					added[v] = true
+			for _, v := range [2]int{e.U, e.V} {
+				if !u.added[v] && v != g.Boundary {
+					u.added[v] = true
 					r := u.find(v)
 					u.frontier[r] = append(u.frontier[r], g.Adj[v]...)
 				}
@@ -171,9 +207,12 @@ func (u *UnionFind) Decode(syndrome []int) uint64 {
 				continue
 			}
 			nr := u.union(ru, rv)
-			delete(roots, ru)
-			delete(roots, rv)
-			roots[nr] = true
+			u.isRoot[ru] = false
+			u.isRoot[rv] = false
+			if !u.isRoot[nr] {
+				u.isRoot[nr] = true
+				u.rootList = append(u.rootList, nr)
+			}
 		}
 	}
 	return u.peel()
@@ -186,14 +225,15 @@ func (u *UnionFind) Decode(syndrome []int) uint64 {
 func (u *UnionFind) peel() uint64 {
 	g := u.g
 	n := g.NumDetectors + 1
-	// Build spanning forest over grown edges.
-	parentEdge := make([]int, n)
-	order := make([]int, 0, n)
+	// Build spanning forest over grown edges (struct scratch: peel runs
+	// once per Decode, and per-shot allocations dominate batch decoding).
+	parentEdge := u.parentEdge
+	order := u.order[:0]
 	for i := range parentEdge {
 		parentEdge[i] = -1
 		u.visited[i] = false
 	}
-	var stack []int
+	stack := u.stack[:0]
 	pushRoot := func(v int) {
 		u.visited[v] = true
 		stack = append(stack, v)
@@ -225,9 +265,11 @@ func (u *UnionFind) peel() uint64 {
 			pushRoot(v)
 		}
 	}
+	u.order = order
+	u.stack = stack
 	// Peel in reverse DFS order (children before parents).
 	var obs uint64
-	carry := make([]bool, n)
+	carry := u.carry
 	copy(carry, u.defect)
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]

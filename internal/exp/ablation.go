@@ -115,20 +115,21 @@ func AblatePriors(ctx context.Context, seed uint64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	matched, err := evalLER(ctx, "ablate-priors matched", mc.Spec{
-		Circuit: noisy, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3,
-		RNG: rng.New(seed + 1),
-	})
+	// Paired comparison: both specs deliberately seed from seed+1 so the
+	// matched and stale decoders see the same shot stream; batched, each
+	// spec still draws from its own generator instance.
+	results, err := evalLERBatch(ctx,
+		[]string{"ablate-priors matched", "ablate-priors stale"},
+		[]mc.Spec{
+			{Circuit: noisy, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3,
+				RNG: rng.New(seed + 1)},
+			{Circuit: noisy, Prior: prior, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3,
+				RNG: rng.New(seed + 1)},
+		})
 	if err != nil {
 		return nil, err
 	}
-	stale, err := evalLER(ctx, "ablate-priors stale", mc.Spec{
-		Circuit: noisy, Prior: prior, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3,
-		RNG: rng.New(seed + 1),
-	})
-	if err != nil {
-		return nil, err
-	}
+	matched, stale := results[0], results[1]
 	rep.AddRow("drift-aware priors", fmt.Sprintf("%.4g", matched.LER), fmt.Sprintf("[%.3g,%.3g]", matched.WilsonLo, matched.WilsonHi))
 	rep.AddRow("stale priors", fmt.Sprintf("%.4g", stale.LER), fmt.Sprintf("[%.3g,%.3g]", stale.WilsonLo, stale.WilsonHi))
 	rep.SetValue("matched", matched.LER)
@@ -182,6 +183,16 @@ func AblateSchedule(ctx context.Context, seed uint64) (*Report, error) {
 		Header: []string{"d", "p", "schedule", "LER"},
 	}
 	const shots = 40000
+	type schedCase struct {
+		d    int
+		p    float64
+		name string
+	}
+	var (
+		cases  []schedCase
+		labels []string
+		specs  []mc.Spec
+	)
 	for _, d := range []int{3, 5} {
 		p := 3e-3
 		patch := code.NewPatch(lattice.NewSquare(d))
@@ -196,16 +207,21 @@ func AblateSchedule(ctx context.Context, seed uint64) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := evalLER(ctx, fmt.Sprintf("ablate-schedule %s d=%d", name, d), mc.Spec{
+			cases = append(cases, schedCase{d: d, p: p, name: name})
+			labels = append(labels, fmt.Sprintf("ablate-schedule %s d=%d", name, d))
+			specs = append(specs, mc.Spec{
 				Circuit: c, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: d,
 				RNG: rng.New(seed + uint64(d)),
 			})
-			if err != nil {
-				return nil, err
-			}
-			rep.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.3g", p), name, fmt.Sprintf("%.4g", res.LER))
-			rep.SetValue(fmt.Sprintf("%s_d%d", name, d), res.LER)
 		}
+	}
+	results, err := evalLERBatch(ctx, labels, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rep.AddRow(fmt.Sprintf("%d", cases[i].d), fmt.Sprintf("%.3g", cases[i].p), cases[i].name, fmt.Sprintf("%.4g", res.LER))
+		rep.SetValue(fmt.Sprintf("%s_d%d", cases[i].name, cases[i].d), res.LER)
 	}
 	rep.AddNote("the sequential schedule (needed for deformed-code gauge fixing) costs only an O(1) factor over the hardware-standard interleaved schedule")
 	return rep, nil

@@ -46,13 +46,6 @@ func CycleLER(ctx context.Context, seed uint64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		sres, err := evalLER(ctx, "cycle "+name+" static", mc.Spec{
-			Circuit: sc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds,
-			RNG: rng.New(seed + 1),
-		})
-		if err != nil {
-			return nil, err
-		}
 		// Calibration cycle.
 		isoPatch := mk()
 		df := deform.NewDeformer(isoPatch)
@@ -68,13 +61,20 @@ func CycleLER(ctx context.Context, seed uint64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cres, err := evalLER(ctx, "cycle "+name+" calibration", mc.Spec{
-			Circuit: cc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds,
-			RNG: rng.New(seed + 2),
-		})
+		// Static reference and cycle sample as one batch per lattice; the
+		// per-spec seeds (seed+1, seed+2) match the former sequential runs.
+		results, err := evalLERBatch(ctx,
+			[]string{"cycle " + name + " static", "cycle " + name + " calibration"},
+			[]mc.Spec{
+				{Circuit: sc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds,
+					RNG: rng.New(seed + 1)},
+				{Circuit: cc, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: 3 * rounds,
+					RNG: rng.New(seed + 2)},
+			})
 		if err != nil {
 			return nil, err
 		}
+		sres, cres := results[0], results[1]
 		rep.AddRow(name, "static", fmt.Sprintf("%.4g", sres.LER), fmt.Sprintf("[%.3g,%.3g]", sres.WilsonLo, sres.WilsonHi))
 		rep.AddRow(name, "calibration cycle", fmt.Sprintf("%.4g", cres.LER), fmt.Sprintf("[%.3g,%.3g]", cres.WilsonLo, cres.WilsonHi))
 		rep.SetValue(name+"_static", sres.LER)

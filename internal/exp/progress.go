@@ -40,3 +40,22 @@ func evalLER(ctx context.Context, label string, spec mc.Spec) (mc.Result, error)
 	}
 	return res, err
 }
+
+// evalLERBatch is evalLER's fan-out counterpart: it runs the specs as one
+// mc.EvaluateBatch over the shared engine's chunk scheduler, attaching the
+// context's progress reporter to each spec under its own label. Results
+// are bit-identical to evaluating the specs one by one (each spec seeds
+// from its own RNG/Seed), so migrating a sweep here changes its wall-clock
+// time, not its numbers. labels must be 1:1 with specs.
+func evalLERBatch(ctx context.Context, labels []string, specs []mc.Spec) ([]mc.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "exp.evalbatch")
+	defer span.End()
+	span.SetAttr("specs", len(specs))
+	if fn, ok := ctx.Value(progressKey{}).(ProgressFunc); ok && fn != nil {
+		for i := range specs {
+			label, total := labels[i], specs[i].Shots
+			specs[i].Progress = func(shots, failures int) { fn(label, shots, total, failures) }
+		}
+	}
+	return mc.EvaluateBatch(ctx, specs)
+}

@@ -144,7 +144,18 @@ func FitLERModel(ctx context.Context, seed uint64) (*Report, error) {
 		Title:  "Calibrating LER(d,p) = α(p/p_th)^((d+1)/2) against Monte Carlo",
 		Header: []string{"d", "p", "shots", "LER/round"},
 	}
-	var points []ler.Point
+	// All six (d, p) evaluations form one batch over the shared chunk
+	// scheduler; each spec seeds from its own generator, so the fitted
+	// points are identical to the former one-at-a-time evaluation.
+	type fitCase struct {
+		d int
+		p float64
+	}
+	var (
+		cases  []fitCase
+		labels []string
+		specs  []mc.Spec
+	)
 	shots := 40000
 	for _, d := range []int{3, 5} {
 		for _, p := range []float64{2e-3, 3.5e-3, 5e-3} {
@@ -153,19 +164,25 @@ func FitLERModel(ctx context.Context, seed uint64) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := evalLER(ctx, fmt.Sprintf("fit d=%d p=%.2g", d, p), mc.Spec{
+			cases = append(cases, fitCase{d: d, p: p})
+			labels = append(labels, fmt.Sprintf("fit d=%d p=%.2g", d, p))
+			specs = append(specs, mc.Spec{
 				Circuit: c, Decoder: decoder.KindUnionFind, Shots: shots, Rounds: d,
 				RNG: rng.New(seed + uint64(d*1000) + uint64(p*1e6)),
 			})
-			if err != nil {
-				return nil, err
-			}
-			if res.PerRoundLER > 0 {
-				points = append(points, ler.Point{D: d, P: p, LER: res.PerRoundLER})
-			}
-			rep.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.4g", p),
-				fmt.Sprintf("%d", shots), fmt.Sprintf("%.4g", res.PerRoundLER))
 		}
+	}
+	results, err := evalLERBatch(ctx, labels, specs)
+	if err != nil {
+		return nil, err
+	}
+	var points []ler.Point
+	for i, res := range results {
+		if res.PerRoundLER > 0 {
+			points = append(points, ler.Point{D: cases[i].d, P: cases[i].p, LER: res.PerRoundLER})
+		}
+		rep.AddRow(fmt.Sprintf("%d", cases[i].d), fmt.Sprintf("%.4g", cases[i].p),
+			fmt.Sprintf("%d", shots), fmt.Sprintf("%.4g", res.PerRoundLER))
 	}
 	m, err := ler.Fit(points)
 	if err != nil {

@@ -4,10 +4,13 @@ import (
 	"caliqec/internal/circuit"
 	"caliqec/internal/decoder"
 	"caliqec/internal/dem"
+	"caliqec/internal/rng"
+	"caliqec/internal/sim"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sync"
 )
 
@@ -51,13 +54,18 @@ func Fingerprint(c *circuit.Circuit) [16]byte {
 }
 
 // cacheEntry holds everything derivable from one prior circuit: its DEM,
-// the decoding graph, and a pool of reusable decoder instances per kind
+// the decoding graph, a pool of reusable decoder instances per kind
 // (decoders carry scratch state, so one instance serves one worker at a
-// time; pooling avoids rebuilding their adjacency scans every chunk).
+// time; pooling avoids rebuilding their adjacency scans every chunk), and a
+// free list of frame simulators (a simulator's compiled program and frame
+// storage are reusable across chunks after a Reset).
 type cacheEntry struct {
 	model *dem.Model
 	graph *decoder.Graph
 	pools [2]sync.Pool // indexed by decoder.DecoderKind
+
+	simMu sync.Mutex
+	sims  []*sim.FrameSimulator
 }
 
 func newCacheEntry(prior *circuit.Circuit) (*cacheEntry, error) {
@@ -90,6 +98,39 @@ func poolIndex(kind decoder.DecoderKind) int {
 		return 1
 	}
 	return 0
+}
+
+// getSim returns a pooled frame simulator compiled for exactly c, rebound
+// to r, or builds a fresh one. Matching is by circuit identity: stale-prior
+// specs share a cache entry keyed by the prior but sample a *different*
+// circuit, so a free simulator is only reused when it was compiled for the
+// same circuit pointer.
+func (ent *cacheEntry) getSim(c *circuit.Circuit, r *rng.RNG) *sim.FrameSimulator {
+	ent.simMu.Lock()
+	for i := len(ent.sims) - 1; i >= 0; i-- {
+		if ent.sims[i].Circuit() == c {
+			fs := ent.sims[i]
+			last := len(ent.sims) - 1
+			ent.sims[i] = ent.sims[last]
+			ent.sims[last] = nil
+			ent.sims = ent.sims[:last]
+			ent.simMu.Unlock()
+			fs.Reset(r)
+			return fs
+		}
+	}
+	ent.simMu.Unlock()
+	return sim.NewFrameSimulator(c, r)
+}
+
+// putSim returns a simulator to the free list, bounded at twice GOMAXPROCS
+// so an entry never hoards more simulators than a full worker pool can use.
+func (ent *cacheEntry) putSim(fs *sim.FrameSimulator) {
+	ent.simMu.Lock()
+	if len(ent.sims) < 2*runtime.GOMAXPROCS(0) {
+		ent.sims = append(ent.sims, fs)
+	}
+	ent.simMu.Unlock()
 }
 
 // entryFor returns the cached DEM+graph for prior, building and inserting

@@ -16,7 +16,8 @@
 //     behind a content fingerprint of the prior circuit (instructions and
 //     noise parameters included), so repeated evaluations of the same
 //     circuit — the dominant pattern in internal/exp — pay graph
-//     construction once. Decoder instances are pooled per cached graph.
+//     construction once. Decoder and frame-simulator instances are pooled
+//     per cached graph.
 //   - Adaptive early stopping. Besides the fixed-shot mode, an evaluation
 //     can stop as soon as a target failure count is reached or the 95%
 //     Wilson interval is narrower than a target width, reporting the shots
@@ -28,6 +29,13 @@
 // bit-identical for a fixed seed regardless of worker count — a stronger
 // guarantee than the old per-worker sharding, which tied results to the
 // (seed, workers) pair.
+//
+// Batched evaluation: EvaluateBatch runs many specs over one shared chunk
+// scheduler — a single worker pool interleaves chunks from all specs, while
+// seeding, committed-prefix accounting, early stopping and progress stay
+// per-spec. Each spec's result is bit-identical to a standalone Evaluate
+// with the same seed, regardless of worker count or which specs it shares
+// the batch with.
 package mc
 
 import (
@@ -38,6 +46,7 @@ import (
 	"caliqec/internal/sim"
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 )
@@ -69,11 +78,20 @@ type Spec struct {
 	// RNG seeds the evaluation; if nil, rng.New(Seed) is used. The
 	// generator is consumed (split once per chunk), so pass a dedicated
 	// generator or a fresh split.
+	//
+	// In EvaluateBatch every spec's chunk seeds are drawn from that spec's
+	// own RNG/Seed, in spec order, before any sampling starts — never from
+	// a stream shared across specs. Adding, removing or reordering other
+	// specs in a batch therefore cannot perturb this spec's result (though
+	// reordering specs that share one RNG instance reorders which splits
+	// each receives, exactly as reordering sequential Evaluate calls
+	// would).
 	RNG *rng.RNG
 	// Seed is used only when RNG is nil.
 	Seed uint64
 	// Workers sets the pool size; ≤ 0 selects GOMAXPROCS. The result does
-	// not depend on it.
+	// not depend on it. In EvaluateBatch the pool is shared: its size is
+	// the maximum over the batch's specs.
 	Workers int
 
 	// TargetFailures, when > 0, stops the evaluation once at least this
@@ -92,7 +110,9 @@ type Spec struct {
 	// calls may come from different worker goroutines, so the callback must
 	// not assume a particular goroutine and must be fast (it runs on the
 	// evaluation's critical path). When Evaluate returns without error, the
-	// final call is guaranteed to have carried the returned totals.
+	// final call is guaranteed to have carried the returned totals. In
+	// EvaluateBatch each spec's callback is serialized independently;
+	// callbacks of different specs may run concurrently.
 	Progress func(shots, failures int)
 }
 
@@ -141,6 +161,8 @@ type engineMetrics struct {
 	failures     *obs.Counter   // mc.failures: logical failures counted
 	evaluations  *obs.Counter   // mc.evaluations: Evaluate calls completed
 	earlyStops   *obs.Counter   // mc.earlystop: evaluations ended by a criterion
+	batches      *obs.Counter   // mc.batch.evaluations: EvaluateBatch calls completed
+	occupancy    *obs.Gauge     // mc.sched.occupancy: busy fraction of the chunk scheduler's pool
 	cacheHits    *obs.Gauge     // mc.cache.hits: cumulative DEM/graph cache hits
 	cacheMisses  *obs.Gauge     // mc.cache.misses: cumulative cache misses
 	cacheEntries *obs.Gauge     // mc.cache.entries: current cache population
@@ -157,6 +179,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		failures:     r.Counter("mc.failures"),
 		evaluations:  r.Counter("mc.evaluations"),
 		earlyStops:   r.Counter("mc.earlystop"),
+		batches:      r.Counter("mc.batch.evaluations"),
+		occupancy:    r.Gauge("mc.sched.occupancy"),
 		cacheHits:    r.Gauge("mc.cache.hits"),
 		cacheMisses:  r.Gauge("mc.cache.misses"),
 		cacheEntries: r.Gauge("mc.cache.entries"),
@@ -186,11 +210,122 @@ func Evaluate(ctx context.Context, spec Spec) (Result, error) {
 	return Default.Evaluate(ctx, spec)
 }
 
+// EvaluateBatch runs specs on the Default engine.
+func EvaluateBatch(ctx context.Context, specs []Spec) ([]Result, error) {
+	return Default.EvaluateBatch(ctx, specs)
+}
+
 // CacheStats reports cache hits, misses and current entries.
 func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.hits, e.misses, len(e.cache)
+}
+
+// publishCacheStats mirrors the cache counters into the gauge metrics.
+func (e *Engine) publishCacheStats() {
+	hits, misses, entries := e.CacheStats()
+	e.metrics.cacheHits.Set(float64(hits))
+	e.metrics.cacheMisses.Set(float64(misses))
+	e.metrics.cacheEntries.Set(float64(entries))
+}
+
+// evalState is one spec's complete scheduling state inside the shared chunk
+// scheduler: its chunk seeds, completed-chunk records, committed-prefix
+// accumulator, early-stop bound and progress guard. All fields except the
+// progress guard are protected by the scheduler's mutex.
+type evalState struct {
+	spec  Spec
+	prior *circuit.Circuit // resolved prior (spec.Prior or spec.Circuit)
+	ent   *cacheEntry
+
+	seeds     []*rng.RNG // per-chunk generators, split in chunk order
+	numChunks int
+
+	chunks    []chunkState
+	next      int // next chunk index to claim
+	committed int // chunks [0, committed) are aggregated
+	stopAt    int // chunks ≥ stopAt are not needed
+	accShots  int
+	accFails  int
+	stopped   bool // an early-stop criterion fired
+
+	// done is closed when the spec's committed prefix is final (all needed
+	// chunks aggregated, or the batch aborted). Per-spec span goroutines
+	// block on it.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// Progress serialization: workers snapshot committed totals under the
+	// scheduler mutex and may race to deliver them; the monotonic guard
+	// drops a snapshot that lost the race so the callback sees strictly
+	// increasing shot counts.
+	progressMu    sync.Mutex
+	reportedShots int
+}
+
+type chunkState struct {
+	failures int
+	shots    int
+	done     bool
+}
+
+func (st *evalState) closeDone() { st.doneOnce.Do(func() { close(st.done) }) }
+
+// report delivers a progress snapshot, deduplicating stale racers.
+func (st *evalState) report(shots, failures int) {
+	if st.spec.Progress == nil {
+		return
+	}
+	st.progressMu.Lock()
+	defer st.progressMu.Unlock()
+	if shots <= st.reportedShots {
+		return
+	}
+	st.reportedShots = shots
+	st.spec.Progress(shots, failures)
+}
+
+// prepare validates spec and draws its chunk seeds. Seeds are drawn here, on
+// the caller's goroutine and in chunk order, so the shot stream assigned to
+// chunk i depends only on the spec's own generator — not on scheduling,
+// worker count, or (for batches) which specs run alongside.
+func (e *Engine) prepare(spec Spec) (*evalState, error) {
+	if spec.Circuit == nil {
+		return nil, fmt.Errorf("mc: nil circuit")
+	}
+	if spec.Shots <= 0 {
+		return nil, fmt.Errorf("mc: shots must be positive, got %d", spec.Shots)
+	}
+	if spec.Circuit.NumObs > 64 {
+		return nil, fmt.Errorf("mc: %d observables exceed the 64-bit mask limit", spec.Circuit.NumObs)
+	}
+	prior := spec.Prior
+	if prior == nil {
+		prior = spec.Circuit
+	}
+	if spec.Circuit.NumDetectors != prior.NumDetectors || spec.Circuit.NumObs != prior.NumObs {
+		return nil, fmt.Errorf("mc: prior circuit structure mismatch (%d/%d detectors, %d/%d observables)",
+			prior.NumDetectors, spec.Circuit.NumDetectors, prior.NumObs, spec.Circuit.NumObs)
+	}
+	st := &evalState{
+		spec:          spec,
+		prior:         prior,
+		numChunks:     (spec.Shots + chunkShots - 1) / chunkShots,
+		done:          make(chan struct{}),
+		reportedShots: -1,
+	}
+	base := spec.RNG
+	if base == nil {
+		base = rng.New(spec.Seed)
+	}
+	st.seeds = make([]*rng.RNG, st.numChunks)
+	for i := range st.seeds {
+		st.seeds[i] = base.Split()
+	}
+	st.chunks = make([]chunkState, st.numChunks)
+	st.stopAt = st.numChunks
+	return st, nil
 }
 
 // Evaluate samples spec.Shots Monte-Carlo trajectories of spec.Circuit,
@@ -199,22 +334,9 @@ func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
 // are compared: a shot fails when the predicted observable mask differs
 // from the sampled one in any bit.
 func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
-	if spec.Circuit == nil {
-		return Result{}, fmt.Errorf("mc: nil circuit")
-	}
-	if spec.Shots <= 0 {
-		return Result{}, fmt.Errorf("mc: shots must be positive, got %d", spec.Shots)
-	}
-	if spec.Circuit.NumObs > 64 {
-		return Result{}, fmt.Errorf("mc: %d observables exceed the 64-bit mask limit", spec.Circuit.NumObs)
-	}
-	prior := spec.Prior
-	if prior == nil {
-		prior = spec.Circuit
-	}
-	if spec.Circuit.NumDetectors != prior.NumDetectors || spec.Circuit.NumObs != prior.NumObs {
-		return Result{}, fmt.Errorf("mc: prior circuit structure mismatch (%d/%d detectors, %d/%d observables)",
-			prior.NumDetectors, spec.Circuit.NumDetectors, prior.NumObs, spec.Circuit.NumObs)
+	st, err := e.prepare(spec)
+	if err != nil {
+		return Result{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -223,71 +345,191 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 	defer span.End()
 	span.SetAttr("shots", spec.Shots)
 	span.SetAttr("detectors", spec.Circuit.NumDetectors)
-	ent, err := e.entryFor(prior)
+	st.ent, err = e.entryFor(st.prior)
 	if err != nil {
 		return Result{}, err
 	}
-	hits, misses, entries := e.CacheStats()
-	e.metrics.cacheHits.Set(float64(hits))
-	e.metrics.cacheMisses.Set(float64(misses))
-	e.metrics.cacheEntries.Set(float64(entries))
+	e.publishCacheStats()
+	if err := e.runStates(ctx, []*evalState{st}); err != nil {
+		return Result{}, err
+	}
+	res := e.finish(st)
+	if st.stopped {
+		span.Event("early-stop")
+		span.SetAttr("earlystop", true)
+	}
+	return res, nil
+}
 
-	base := spec.RNG
-	if base == nil {
-		base = rng.New(spec.Seed)
+// EvaluateBatch evaluates every spec over one shared chunk scheduler: a
+// single worker pool (sized at the maximum of the specs' Workers settings)
+// interleaves chunks from all specs round-robin, so short specs do not
+// serialize behind long ones and the pool never idles while any spec has
+// work. Cache entries for distinct priors are built concurrently before
+// sampling starts.
+//
+// Each spec keeps its own seeding, committed-prefix accounting, early
+// stopping and progress callback; spec i's result is bit-identical to
+// e.Evaluate(ctx, specs[i]) with the same seed. The first error (including
+// context cancellation) aborts the whole batch. An empty batch returns
+// (nil, nil).
+func (e *Engine) EvaluateBatch(ctx context.Context, specs []Spec) ([]Result, error) {
+	if len(specs) == 0 {
+		return nil, nil
 	}
-	numChunks := (spec.Shots + chunkShots - 1) / chunkShots
-	// Chunk seeds are drawn up front, in chunk order, so the shot stream
-	// assigned to chunk i depends only on the base generator — not on
-	// scheduling or worker count.
-	seeds := make([]*rng.RNG, numChunks)
-	for i := range seeds {
-		seeds[i] = base.Split()
+	states := make([]*evalState, len(specs))
+	for i, spec := range specs {
+		st, err := e.prepare(spec)
+		if err != nil {
+			return nil, fmt.Errorf("mc: batch spec %d: %w", i, err)
+		}
+		states[i] = st
 	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	if workers > numChunks {
-		workers = numChunks
+	ctx, span := obs.StartSpan(ctx, "mc.evaluate_batch")
+	defer span.End()
+	span.SetAttr("specs", len(specs))
+	if err := e.buildEntries(states); err != nil {
+		return nil, err
+	}
+	e.publishCacheStats()
+
+	// Per-spec child spans: each lives in its own goroutine (started before
+	// scheduling, ended when the spec's committed prefix is final) so the
+	// trace shows one mc.evaluate span per spec under the batch parent.
+	var spanWG sync.WaitGroup
+	for _, st := range states {
+		st := st
+		spanWG.Add(1)
+		go func() {
+			defer spanWG.Done()
+			_, sp := obs.StartSpan(ctx, "mc.evaluate")
+			defer sp.End()
+			sp.SetAttr("shots", st.spec.Shots)
+			sp.SetAttr("detectors", st.spec.Circuit.NumDetectors)
+			<-st.done
+			if st.stopped {
+				sp.Event("early-stop")
+				sp.SetAttr("earlystop", true)
+			}
+		}()
 	}
 
-	type chunkState struct {
-		failures int
-		shots    int
-		done     bool
+	err := e.runStates(ctx, states)
+	for _, st := range states {
+		st.closeDone() // release span goroutines of unfinished specs on error
+	}
+	spanWG.Wait()
+	if err != nil {
+		return nil, err
+	}
+	e.metrics.batches.Inc()
+	results := make([]Result, len(states))
+	for i, st := range states {
+		results[i] = e.finish(st)
+	}
+	return results, nil
+}
+
+// buildEntries resolves the cache entry of every state, building distinct
+// priors concurrently: on a cold sweep over D distinct circuits the DEM
+// extractions and graph constructions — the dominant cold-start cost —
+// overlap instead of serializing.
+func (e *Engine) buildEntries(states []*evalState) error {
+	type build struct {
+		fp  fingerprint
+		st  *evalState // representative state carrying the prior
+		ent *cacheEntry
+		err error
 	}
 	var (
-		mu        sync.Mutex
-		chunks    = make([]chunkState, numChunks)
-		next      = 0         // next chunk index to claim
-		committed = 0         // chunks [0, committed) are aggregated
-		stopAt    = numChunks // chunks ≥ stopAt are not needed
-		accShots  = 0
-		accFails  = 0
-		stopped   = false // an early-stop criterion fired
-		evalErr   error
+		uniq  []*build
+		byFP  = make(map[fingerprint]*build)
+		index = make([]*build, len(states))
 	)
+	for i, st := range states {
+		fp := Fingerprint(st.prior)
+		b, ok := byFP[fp]
+		if !ok {
+			b = &build{fp: fp, st: st}
+			byFP[fp] = b
+			uniq = append(uniq, b)
+		}
+		index[i] = b
+	}
+	if len(uniq) == 1 {
+		ent, err := e.entryFor(uniq[0].st.prior)
+		if err != nil {
+			return err
+		}
+		uniq[0].ent = ent
+	} else {
+		var wg sync.WaitGroup
+		for _, b := range uniq {
+			b := b
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.ent, b.err = e.entryFor(b.st.prior)
+			}()
+		}
+		wg.Wait()
+		for _, b := range uniq {
+			if b.err != nil {
+				return b.err
+			}
+		}
+	}
+	for i, st := range states {
+		st.ent = index[i].ent
+	}
+	return nil
+}
 
-	// report serializes Progress callbacks. Workers snapshot the committed
-	// totals outside mu and may race to deliver them, so the monotonic
-	// guard drops a stale snapshot that lost the race — the callback sees
-	// strictly increasing shot counts, never interleaved or reordered.
+// runStates is the shared chunk scheduler. One worker pool claims chunks
+// round-robin across states; each completed chunk is committed into its
+// state's in-order prefix, where early-stop criteria are applied exactly as
+// in a standalone evaluation. A state's done channel closes the moment its
+// prefix is final, under the same critical section that wrote its totals.
+func (e *Engine) runStates(ctx context.Context, states []*evalState) error {
+	totalChunks := 0
+	workers := 0
+	for _, st := range states {
+		totalChunks += st.numChunks
+		w := st.spec.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > workers {
+			workers = w
+		}
+	}
+	if workers > totalChunks {
+		workers = totalChunks
+	}
+
 	var (
-		progressMu    sync.Mutex
-		reportedShots = -1
+		mu      sync.Mutex
+		cursor  int // round-robin position over states
+		busy    int
+		evalErr error
 	)
-	report := func(shots, failures int) {
-		if spec.Progress == nil {
-			return
+	// claimLocked picks the next needed chunk, rotating across states so
+	// every spec makes progress and committed prefixes advance evenly.
+	// Called with mu held.
+	claimLocked := func() (*evalState, int) {
+		for k := 0; k < len(states); k++ {
+			st := states[(cursor+k)%len(states)]
+			if st.next < st.stopAt {
+				i := st.next
+				st.next++
+				cursor = (cursor + k + 1) % len(states)
+				return st, i
+			}
 		}
-		progressMu.Lock()
-		defer progressMu.Unlock()
-		if shots <= reportedShots {
-			return
-		}
-		reportedShots = shots
-		spec.Progress(shots, failures)
+		return nil, 0
 	}
 
 	var wg sync.WaitGroup
@@ -297,21 +539,28 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if evalErr != nil || next >= stopAt {
+				if evalErr != nil {
 					mu.Unlock()
 					return
 				}
-				i := next
-				next++
+				st, i := claimLocked()
+				if st == nil {
+					mu.Unlock()
+					return
+				}
+				busy++
+				e.metrics.occupancy.Set(float64(busy) / float64(workers))
 				mu.Unlock()
 
 				n := chunkShots
-				if rem := spec.Shots - i*chunkShots; rem < n {
+				if rem := st.spec.Shots - i*chunkShots; rem < n {
 					n = rem
 				}
-				fails, cerr := e.runChunk(ctx, spec.Circuit, ent, spec.Decoder, n, seeds[i])
+				fails, cerr := e.runChunk(ctx, st.spec.Circuit, st.ent, st.spec.Decoder, n, st.seeds[i])
 
 				mu.Lock()
+				busy--
+				e.metrics.occupancy.Set(float64(busy) / float64(workers))
 				if cerr != nil {
 					if evalErr == nil {
 						evalErr = cerr
@@ -319,54 +568,63 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 					mu.Unlock()
 					return
 				}
-				chunks[i] = chunkState{failures: fails, shots: n, done: true}
+				st.chunks[i] = chunkState{failures: fails, shots: n, done: true}
 				// Advance the committed prefix in chunk order and apply the
 				// early-stop criteria at each step: the first prefix that
 				// satisfies them is the same no matter which worker finished
-				// which chunk, which keeps early-stopped results exactly
-				// reproducible for a fixed seed.
+				// which chunk — or which other specs share the scheduler —
+				// which keeps early-stopped results exactly reproducible for
+				// a fixed seed.
 				progressed := false
-				for committed < stopAt && chunks[committed].done {
-					accShots += chunks[committed].shots
-					accFails += chunks[committed].failures
-					committed++
+				for st.committed < st.stopAt && st.chunks[st.committed].done {
+					st.accShots += st.chunks[st.committed].shots
+					st.accFails += st.chunks[st.committed].failures
+					st.committed++
 					progressed = true
-					if spec.stopSatisfied(accShots, accFails) {
-						stopAt = committed
-						stopped = true
+					if st.spec.stopSatisfied(st.accShots, st.accFails) {
+						st.stopAt = st.committed
+						st.stopped = true
 						break
 					}
 				}
-				snapShots, snapFails := accShots, accFails
+				snapShots, snapFails := st.accShots, st.accFails
+				if st.committed >= st.stopAt {
+					st.closeDone() // totals are final; written under mu just above
+				}
 				mu.Unlock()
 				if progressed {
-					report(snapShots, snapFails)
+					st.report(snapShots, snapFails)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 	if evalErr != nil {
-		return Result{}, evalErr
+		return evalErr
 	}
 	// The last committing worker snapshots totals outside mu and can lose
-	// the delivery race, so guarantee the callback's final call carries the
-	// committed totals Evaluate returns (the monotonic guard deduplicates
-	// if it already did).
-	report(accShots, accFails)
-	e.metrics.shots.Add(int64(accShots))
-	e.metrics.failures.Add(int64(accFails))
+	// the delivery race, so guarantee each callback's final call carries the
+	// committed totals (the monotonic guard deduplicates if it already did).
+	for _, st := range states {
+		st.report(st.accShots, st.accFails)
+	}
+	return nil
+}
+
+// finish records a completed state's totals into the metrics and summarizes
+// its result.
+func (e *Engine) finish(st *evalState) Result {
+	e.metrics.shots.Add(int64(st.accShots))
+	e.metrics.failures.Add(int64(st.accFails))
 	e.metrics.evaluations.Inc()
-	if stopped {
+	if st.stopped {
 		e.metrics.earlyStops.Inc()
-		span.Event("early-stop")
-		span.SetAttr("earlystop", true)
 	}
 	return Result{
-		Result:       decoder.Summarize(accShots, accFails, spec.Rounds),
-		Requested:    spec.Shots,
-		EarlyStopped: stopped,
-	}, nil
+		Result:       decoder.Summarize(st.accShots, st.accFails, st.spec.Rounds),
+		Requested:    st.spec.Shots,
+		EarlyStopped: st.stopped,
+	}
 }
 
 // stopSatisfied reports whether an adaptive criterion ends the evaluation
@@ -390,7 +648,17 @@ func (s *Spec) stopSatisfied(shots, failures int) bool {
 	return false
 }
 
-// runChunk samples and decodes one shot chunk with its own frame simulator
+// batchScratch is the per-chunk decode scratch: one syndrome list per shot
+// of a 64-shot batch plus the sampled observable masks. Pooled so the
+// steady-state chunk loop performs no per-batch allocation.
+type batchScratch struct {
+	syn    [64][]int
+	actual [64]uint64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(batchScratch) }}
+
+// runChunk samples and decodes one shot chunk with a pooled frame simulator
 // and a pooled decoder, checking ctx between 64-shot batches. Each chunk's
 // wall time lands in the mc.decode.latency histogram (skipped entirely on a
 // discarding registry, so the uninstrumented path pays no clock reads).
@@ -403,12 +671,14 @@ func (e *Engine) runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEnt
 	}
 	dec := ent.getDecoder(kind)
 	defer ent.putDecoder(kind, dec)
-	fs := sim.NewFrameSimulator(c, seed)
+	fs := ent.getSim(c, seed)
+	defer ent.putSim(fs)
+	sc := scratchPool.Get().(*batchScratch)
+	defer scratchPool.Put(sc)
 	obsMask := uint64(1)<<uint(c.NumObs) - 1
 	if c.NumObs >= 64 {
 		obsMask = ^uint64(0)
 	}
-	syndrome := make([]int, 0, 64)
 	failures := 0
 	canceled := false
 	fs.SampleWhile(shots, func(b sim.BatchResult) bool {
@@ -416,7 +686,7 @@ func (e *Engine) runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEnt
 			canceled = true
 			return false
 		}
-		failures += countBatchFailures(dec, b, obsMask, &syndrome)
+		failures += countBatchFailures(dec, b, obsMask, sc)
 		return true
 	})
 	if canceled {
@@ -428,25 +698,33 @@ func (e *Engine) runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEnt
 // countBatchFailures decodes every shot of one 64-shot batch and counts
 // those whose predicted observable mask misses the sampled one. All
 // observables participate — not just observable 0.
-func countBatchFailures(dec decoder.Decoder, b sim.BatchResult, obsMask uint64, syndrome *[]int) int {
+//
+// Syndromes are gathered word-at-a-time: for each detector word, zero words
+// (the overwhelmingly common case at realistic error rates) are skipped
+// outright and set bits are walked with bits.TrailingZeros64, so the cost
+// scales with fired detectors instead of shots × detectors. Detector words
+// are visited in ascending index order, so each shot's syndrome list stays
+// sorted — the order the dense per-shot scan produced.
+func countBatchFailures(dec decoder.Decoder, b sim.BatchResult, obsMask uint64, sc *batchScratch) int {
+	for s := 0; s < b.Shots; s++ {
+		sc.syn[s] = sc.syn[s][:0]
+		sc.actual[s] = 0
+	}
+	for d, w := range b.Detectors {
+		for ; w != 0; w &= w - 1 {
+			s := bits.TrailingZeros64(w)
+			sc.syn[s] = append(sc.syn[s], d)
+		}
+	}
+	for o, w := range b.Observables {
+		obit := uint64(1) << uint(o)
+		for ; w != 0; w &= w - 1 {
+			sc.actual[bits.TrailingZeros64(w)] |= obit
+		}
+	}
 	failures := 0
 	for s := 0; s < b.Shots; s++ {
-		bit := uint64(1) << uint(s)
-		syn := (*syndrome)[:0]
-		for d, w := range b.Detectors {
-			if w&bit != 0 {
-				syn = append(syn, d)
-			}
-		}
-		*syndrome = syn
-		pred := dec.Decode(syn) & obsMask
-		var actual uint64
-		for o, w := range b.Observables {
-			if w&bit != 0 {
-				actual |= uint64(1) << uint(o)
-			}
-		}
-		if pred != actual {
+		if dec.Decode(sc.syn[s])&obsMask != sc.actual[s] {
 			failures++
 		}
 	}

@@ -258,7 +258,7 @@ func TestMultiObservableScoring(t *testing.T) {
 		Observables: []uint64{0b10, 0b11, 0b00}, // per-observable shot words
 		Shots:       2,
 	}
-	scratch := make([]int, 0, 4)
+	scratch := new(batchScratch)
 	cases := []struct {
 		pred  uint64
 		wantF int
@@ -269,13 +269,13 @@ func TestMultiObservableScoring(t *testing.T) {
 		{0b110, 2}, // bit1 matches shot0 but bit2 flipped: both fail
 	}
 	for _, tc := range cases {
-		if got := countBatchFailures(maskDecoder(tc.pred), b, 0b111, &scratch); got != tc.wantF {
+		if got := countBatchFailures(maskDecoder(tc.pred), b, 0b111, scratch); got != tc.wantF {
 			t.Errorf("pred=%03b: %d failures, want %d", tc.pred, got, tc.wantF)
 		}
 	}
 	// The documented blind spot, explicitly: prediction 0b000 vs sampled
 	// 0b010 agrees on observable 0 yet is a logical failure.
-	if got := countBatchFailures(maskDecoder(0), sim.BatchResult{Observables: []uint64{0b0, 0b1, 0b0}, Shots: 1}, 0b111, &scratch); got != 1 {
+	if got := countBatchFailures(maskDecoder(0), sim.BatchResult{Observables: []uint64{0b0, 0b1, 0b0}, Shots: 1}, 0b111, scratch); got != 1 {
 		t.Errorf("higher-observable mismatch not counted: got %d failures, want 1", got)
 	}
 }

@@ -11,22 +11,35 @@
 // fast path.
 //
 // Shots are packed 64 per machine word so one pass over the circuit
-// advances 64 Monte-Carlo trajectories.
+// advances 64 Monte-Carlo trajectories. The circuit is compiled once, at
+// construction, into a flat list of closures (one per instruction, with
+// opcode dispatch, measurement offsets and the geometric-skipping log
+// already resolved), so the per-batch loop is a straight walk with no
+// re-switching on Op and no per-batch float math beyond the draws
+// themselves.
 package sim
 
 import (
 	"caliqec/internal/circuit"
 	"caliqec/internal/rng"
 	"math"
+	"math/bits"
 )
 
 // FrameSimulator samples detector and observable flip bits for batches of
-// shots of a fixed circuit.
+// shots of a fixed circuit. It is not safe for concurrent use; internal/mc
+// pools one instance per worker. Reset rebinds a simulator to a new
+// randomness stream so pooled instances can be reused across chunks without
+// reallocating frame or scratch storage.
 type FrameSimulator struct {
 	c   *circuit.Circuit
 	rng *rng.RNG
 
-	nWords int // words per 64-shot batch row (always 1; kept for clarity)
+	// prog is the compiled instruction stream: one step per state-affecting
+	// instruction, in circuit order. Ticks and zero-probability pure-noise
+	// instructions compile to nothing (they neither touch frames nor consume
+	// randomness), so skipping them preserves the RNG stream bit-for-bit.
+	prog []step
 
 	// Per-qubit frame bits for the current 64-shot batch.
 	xf []uint64 // X component of the frame (flips Z-basis measurements)
@@ -34,17 +47,38 @@ type FrameSimulator struct {
 
 	// Measurement-record flip bits for the current batch.
 	recs []uint64
+
+	// Detector/observable words for the current batch, reused across
+	// batches and across Sample calls (previously allocated per call).
+	det []uint64
+	obs []uint64
 }
+
+// step advances one compiled instruction on the current 64-shot batch.
+type step func(fs *FrameSimulator)
 
 // NewFrameSimulator returns a simulator for c drawing randomness from r.
 func NewFrameSimulator(c *circuit.Circuit, r *rng.RNG) *FrameSimulator {
-	return &FrameSimulator{
-		c: c, rng: r, nWords: 1,
+	fs := &FrameSimulator{
+		c: c, rng: r,
 		xf:   make([]uint64, c.NumQubits),
 		zf:   make([]uint64, c.NumQubits),
 		recs: make([]uint64, c.NumMeas),
+		det:  make([]uint64, c.NumDetectors),
+		obs:  make([]uint64, c.NumObs),
 	}
+	fs.prog = compile(c)
+	return fs
 }
+
+// Circuit returns the circuit this simulator was compiled for. Pool
+// implementations use it to match a free simulator to a request.
+func (fs *FrameSimulator) Circuit() *circuit.Circuit { return fs.c }
+
+// Reset rebinds the simulator to a new randomness stream. The compiled
+// program and all scratch storage are retained; the next Sample call draws
+// from r exactly as a freshly constructed simulator would.
+func (fs *FrameSimulator) Reset(r *rng.RNG) { fs.rng = r }
 
 // BatchResult holds detector and observable flips for one 64-shot batch,
 // one word per detector/observable with bit i belonging to shot i.
@@ -54,10 +88,31 @@ type BatchResult struct {
 	Shots       int // number of valid low bits (≤ 64)
 }
 
+// geomThreshold is the error probability below which bernoulli draws use
+// geometric skipping (O(p·64) draws per word instead of 64).
+const geomThreshold = 0.1
+
+// noiseLogq precomputes log(1-p) for the geometric-skipping fast path, or 0
+// when p is outside the fast-path range. Hoisting it to compile time removes
+// a math.Log1p from every noisy instruction of every batch.
+func noiseLogq(p float64) float64 {
+	if p > 0 && p < geomThreshold {
+		return math.Log1p(-p)
+	}
+	return 0
+}
+
 // bernoulliMask returns a 64-bit word whose bits are independently 1 with
 // probability p. For small p it uses geometric skipping (draw the gap to the
 // next success) which costs O(p·64) random draws instead of 64.
 func bernoulliMask(r *rng.RNG, p float64) uint64 {
+	return bernoulliMaskLogq(r, p, noiseLogq(p))
+}
+
+// bernoulliMaskLogq is bernoulliMask with log(1-p) precomputed (as returned
+// by noiseLogq). The randomness consumed is identical to bernoulliMask for
+// the same p.
+func bernoulliMaskLogq(r *rng.RNG, p, logq float64) uint64 {
 	if p <= 0 {
 		return 0
 	}
@@ -65,9 +120,8 @@ func bernoulliMask(r *rng.RNG, p float64) uint64 {
 		return ^uint64(0)
 	}
 	var mask uint64
-	if p < 0.1 {
+	if p < geomThreshold {
 		// Geometric skipping: positions of successes in a Bernoulli stream.
-		logq := math.Log1p(-p)
 		i := 0
 		for {
 			u := r.Float64()
@@ -89,8 +143,204 @@ func bernoulliMask(r *rng.RNG, p float64) uint64 {
 	return mask
 }
 
-// runBatch executes one 64-shot pass, filling det/obs flip words.
-func (fs *FrameSimulator) runBatch(det, obs []uint64) {
+// compile lowers c's instruction list into a flat step stream. Each step
+// captures its targets, probability argument, precomputed log(1-p) and — for
+// measurements — the absolute measurement-record base index, so executing a
+// batch never re-inspects opcodes or recomputes per-instruction constants.
+//
+// RNG-stream compatibility: steps draw randomness in exactly the order and
+// quantity the interpreted switch did. The only instructions elided are
+// ticks and pure-noise channels with Arg ≤ 0, neither of which consumes
+// randomness, so compiled and interpreted execution are bit-identical for
+// the same seed.
+func compile(c *circuit.Circuit) []step {
+	prog := make([]step, 0, len(c.Instructions))
+	meas := 0
+	for _, in := range c.Instructions {
+		targets := in.Targets
+		arg := in.Arg
+		logq := noiseLogq(arg)
+		index := in.Index
+		recsIdx := in.Recs
+		switch in.Op {
+		case circuit.OpH:
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					fs.xf[q], fs.zf[q] = fs.zf[q], fs.xf[q]
+				}
+			})
+		case circuit.OpS:
+			// S maps X -> Y: an X frame gains a Z component.
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					fs.zf[q] ^= fs.xf[q]
+				}
+			})
+		case circuit.OpCX:
+			prog = append(prog, func(fs *FrameSimulator) {
+				for i := 0; i < len(targets); i += 2 {
+					c, t := targets[i], targets[i+1]
+					fs.xf[t] ^= fs.xf[c] // X on control propagates to target
+					fs.zf[c] ^= fs.zf[t] // Z on target propagates to control
+				}
+			})
+		case circuit.OpCZ:
+			prog = append(prog, func(fs *FrameSimulator) {
+				for i := 0; i < len(targets); i += 2 {
+					a, b := targets[i], targets[i+1]
+					fs.zf[a] ^= fs.xf[b]
+					fs.zf[b] ^= fs.xf[a]
+				}
+			})
+		case circuit.OpSwap:
+			prog = append(prog, func(fs *FrameSimulator) {
+				for i := 0; i < len(targets); i += 2 {
+					a, b := targets[i], targets[i+1]
+					fs.xf[a], fs.xf[b] = fs.xf[b], fs.xf[a]
+					fs.zf[a], fs.zf[b] = fs.zf[b], fs.zf[a]
+				}
+			})
+		case circuit.OpReset:
+			// Reset discards the frame; a noisy reset leaves an X error
+			// (wrong computational-basis state) with probability Arg.
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					fs.xf[q] = bernoulliMaskLogq(fs.rng, arg, logq)
+					fs.zf[q] = 0
+				}
+			})
+		case circuit.OpResetX:
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					fs.zf[q] = bernoulliMaskLogq(fs.rng, arg, logq)
+					fs.xf[q] = 0
+				}
+			})
+		case circuit.OpM:
+			// An X or Y frame flips a Z-basis outcome; readout error adds an
+			// independent classical flip. The post-measurement Z frame is a
+			// stabilizer of the collapsed state, so it is cleared.
+			base := meas
+			meas += len(targets)
+			prog = append(prog, func(fs *FrameSimulator) {
+				for j, q := range targets {
+					fs.recs[base+j] = fs.xf[q] ^ bernoulliMaskLogq(fs.rng, arg, logq)
+					fs.zf[q] = 0
+				}
+			})
+		case circuit.OpMX:
+			base := meas
+			meas += len(targets)
+			prog = append(prog, func(fs *FrameSimulator) {
+				for j, q := range targets {
+					fs.recs[base+j] = fs.zf[q] ^ bernoulliMaskLogq(fs.rng, arg, logq)
+					fs.xf[q] = 0
+				}
+			})
+		case circuit.OpXError:
+			if arg <= 0 {
+				continue // draws nothing and flips nothing
+			}
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					fs.xf[q] ^= bernoulliMaskLogq(fs.rng, arg, logq)
+				}
+			})
+		case circuit.OpZError:
+			if arg <= 0 {
+				continue
+			}
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					fs.zf[q] ^= bernoulliMaskLogq(fs.rng, arg, logq)
+				}
+			})
+		case circuit.OpYError:
+			if arg <= 0 {
+				continue
+			}
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					m := bernoulliMaskLogq(fs.rng, arg, logq)
+					fs.xf[q] ^= m
+					fs.zf[q] ^= m
+				}
+			})
+		case circuit.OpDepolarize1:
+			if arg <= 0 {
+				continue
+			}
+			prog = append(prog, func(fs *FrameSimulator) {
+				for _, q := range targets {
+					m := bernoulliMaskLogq(fs.rng, arg, logq)
+					// For each erring shot choose X, Y or Z uniformly.
+					for w := m; w != 0; w &= w - 1 {
+						bit := w & -w
+						switch fs.rng.Intn(3) {
+						case 0:
+							fs.xf[q] ^= bit
+						case 1:
+							fs.xf[q] ^= bit
+							fs.zf[q] ^= bit
+						case 2:
+							fs.zf[q] ^= bit
+						}
+					}
+				}
+			})
+		case circuit.OpDepolarize2:
+			if arg <= 0 {
+				continue
+			}
+			prog = append(prog, func(fs *FrameSimulator) {
+				for i := 0; i < len(targets); i += 2 {
+					a, b := targets[i], targets[i+1]
+					m := bernoulliMaskLogq(fs.rng, arg, logq)
+					for w := m; w != 0; w &= w - 1 {
+						bit := w & -w
+						// Choose one of the 15 non-identity two-qubit Paulis.
+						k := fs.rng.Intn(15) + 1 // 1..15, 2 bits per qubit
+						pa, pb := k&3, k>>2
+						if pa&2 != 0 {
+							fs.xf[a] ^= bit
+						}
+						if pa&1 != 0 {
+							fs.zf[a] ^= bit
+						}
+						if pb&2 != 0 {
+							fs.xf[b] ^= bit
+						}
+						if pb&1 != 0 {
+							fs.zf[b] ^= bit
+						}
+					}
+				}
+			})
+		case circuit.OpDetector:
+			prog = append(prog, func(fs *FrameSimulator) {
+				var v uint64
+				for _, rIdx := range recsIdx {
+					v ^= fs.recs[rIdx]
+				}
+				fs.det[index] = v
+			})
+		case circuit.OpObservable:
+			prog = append(prog, func(fs *FrameSimulator) {
+				var v uint64
+				for _, rIdx := range recsIdx {
+					v ^= fs.recs[rIdx]
+				}
+				fs.obs[index] ^= v
+			})
+		case circuit.OpTick:
+			// no state effect, no randomness: compiles to nothing
+		}
+	}
+	return prog
+}
+
+// runBatch executes one 64-shot pass, filling fs.det/fs.obs flip words.
+func (fs *FrameSimulator) runBatch() {
 	for i := range fs.xf {
 		fs.xf[i] = 0
 		fs.zf[i] = 0
@@ -98,144 +348,14 @@ func (fs *FrameSimulator) runBatch(det, obs []uint64) {
 	for i := range fs.recs {
 		fs.recs[i] = 0
 	}
-	for i := range det {
-		det[i] = 0
+	for i := range fs.det {
+		fs.det[i] = 0
 	}
-	for i := range obs {
-		obs[i] = 0
+	for i := range fs.obs {
+		fs.obs[i] = 0
 	}
-	meas := 0
-	for _, in := range fs.c.Instructions {
-		switch in.Op {
-		case circuit.OpH:
-			for _, q := range in.Targets {
-				fs.xf[q], fs.zf[q] = fs.zf[q], fs.xf[q]
-			}
-		case circuit.OpS:
-			// S maps X -> Y: an X frame gains a Z component.
-			for _, q := range in.Targets {
-				fs.zf[q] ^= fs.xf[q]
-			}
-		case circuit.OpCX:
-			for i := 0; i < len(in.Targets); i += 2 {
-				c, t := in.Targets[i], in.Targets[i+1]
-				fs.xf[t] ^= fs.xf[c] // X on control propagates to target
-				fs.zf[c] ^= fs.zf[t] // Z on target propagates to control
-			}
-		case circuit.OpCZ:
-			for i := 0; i < len(in.Targets); i += 2 {
-				a, b := in.Targets[i], in.Targets[i+1]
-				fs.zf[a] ^= fs.xf[b]
-				fs.zf[b] ^= fs.xf[a]
-			}
-		case circuit.OpSwap:
-			for i := 0; i < len(in.Targets); i += 2 {
-				a, b := in.Targets[i], in.Targets[i+1]
-				fs.xf[a], fs.xf[b] = fs.xf[b], fs.xf[a]
-				fs.zf[a], fs.zf[b] = fs.zf[b], fs.zf[a]
-			}
-		case circuit.OpReset:
-			// Reset discards the frame; a noisy reset leaves an X error
-			// (wrong computational-basis state) with probability Arg.
-			for _, q := range in.Targets {
-				fs.xf[q] = bernoulliMask(fs.rng, in.Arg)
-				fs.zf[q] = 0
-			}
-		case circuit.OpResetX:
-			for _, q := range in.Targets {
-				fs.zf[q] = bernoulliMask(fs.rng, in.Arg)
-				fs.xf[q] = 0
-			}
-		case circuit.OpM:
-			// An X or Y frame flips a Z-basis outcome; readout error adds an
-			// independent classical flip. The post-measurement Z frame is a
-			// stabilizer of the collapsed state, so it is cleared.
-			for _, q := range in.Targets {
-				fs.recs[meas] = fs.xf[q] ^ bernoulliMask(fs.rng, in.Arg)
-				fs.zf[q] = 0
-				meas++
-			}
-		case circuit.OpMX:
-			for _, q := range in.Targets {
-				fs.recs[meas] = fs.zf[q] ^ bernoulliMask(fs.rng, in.Arg)
-				fs.xf[q] = 0
-				meas++
-			}
-		case circuit.OpXError:
-			for _, q := range in.Targets {
-				fs.xf[q] ^= bernoulliMask(fs.rng, in.Arg)
-			}
-		case circuit.OpZError:
-			for _, q := range in.Targets {
-				fs.zf[q] ^= bernoulliMask(fs.rng, in.Arg)
-			}
-		case circuit.OpYError:
-			for _, q := range in.Targets {
-				m := bernoulliMask(fs.rng, in.Arg)
-				fs.xf[q] ^= m
-				fs.zf[q] ^= m
-			}
-		case circuit.OpDepolarize1:
-			for _, q := range in.Targets {
-				m := bernoulliMask(fs.rng, in.Arg)
-				if m == 0 {
-					continue
-				}
-				// For each erring shot choose X, Y or Z uniformly.
-				for w := m; w != 0; w &= w - 1 {
-					bit := w & -w
-					switch fs.rng.Intn(3) {
-					case 0:
-						fs.xf[q] ^= bit
-					case 1:
-						fs.xf[q] ^= bit
-						fs.zf[q] ^= bit
-					case 2:
-						fs.zf[q] ^= bit
-					}
-				}
-			}
-		case circuit.OpDepolarize2:
-			for i := 0; i < len(in.Targets); i += 2 {
-				a, b := in.Targets[i], in.Targets[i+1]
-				m := bernoulliMask(fs.rng, in.Arg)
-				if m == 0 {
-					continue
-				}
-				for w := m; w != 0; w &= w - 1 {
-					bit := w & -w
-					// Choose one of the 15 non-identity two-qubit Paulis.
-					k := fs.rng.Intn(15) + 1 // 1..15, 2 bits per qubit
-					pa, pb := k&3, k>>2
-					if pa&2 != 0 {
-						fs.xf[a] ^= bit
-					}
-					if pa&1 != 0 {
-						fs.zf[a] ^= bit
-					}
-					if pb&2 != 0 {
-						fs.xf[b] ^= bit
-					}
-					if pb&1 != 0 {
-						fs.zf[b] ^= bit
-					}
-				}
-			}
-		case circuit.OpDetector:
-			var v uint64
-			for _, rIdx := range in.Recs {
-				v ^= fs.recs[rIdx]
-			}
-			det[in.Index] = v
-		case circuit.OpObservable:
-			var v uint64
-			for _, rIdx := range in.Recs {
-				v ^= fs.recs[rIdx]
-			}
-			obs[in.Index] ^= v
-		case circuit.OpTick:
-			// no state effect
-		}
+	for _, st := range fs.prog {
+		st(fs)
 	}
 }
 
@@ -253,25 +373,27 @@ func (fs *FrameSimulator) Sample(shots int, visit func(BatchResult)) {
 // returns false, leaving the remaining batches undrawn. This is what lets
 // internal/mc abort an in-flight evaluation between batches on context
 // cancellation without consuming randomness for work it will discard.
+//
+// The BatchResult words alias the simulator's internal scratch: they are
+// valid only until the next batch (or the next Sample call) and must not be
+// retained by visit.
 func (fs *FrameSimulator) SampleWhile(shots int, visit func(BatchResult) bool) {
-	det := make([]uint64, fs.c.NumDetectors)
-	obs := make([]uint64, fs.c.NumObs)
 	for done := 0; done < shots; done += 64 {
 		n := shots - done
 		if n > 64 {
 			n = 64
 		}
-		fs.runBatch(det, obs)
+		fs.runBatch()
 		if n < 64 {
 			lowMask := uint64(1)<<uint(n) - 1
-			for i := range det {
-				det[i] &= lowMask
+			for i := range fs.det {
+				fs.det[i] &= lowMask
 			}
-			for i := range obs {
-				obs[i] &= lowMask
+			for i := range fs.obs {
+				fs.obs[i] &= lowMask
 			}
 		}
-		if !visit(BatchResult{Detectors: det, Observables: obs, Shots: n}) {
+		if !visit(BatchResult{Detectors: fs.det, Observables: fs.obs, Shots: n}) {
 			return
 		}
 	}
@@ -285,16 +407,8 @@ func (fs *FrameSimulator) CountObservableFlips(shots int) []int {
 	counts := make([]int, fs.c.NumObs)
 	fs.Sample(shots, func(b BatchResult) {
 		for i, w := range b.Observables {
-			counts[i] += popcount(w)
+			counts[i] += bits.OnesCount64(w)
 		}
 	})
 	return counts
-}
-
-func popcount(w uint64) int {
-	n := 0
-	for ; w != 0; w &= w - 1 {
-		n++
-	}
-	return n
 }

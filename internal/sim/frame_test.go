@@ -4,6 +4,7 @@ import (
 	"caliqec/internal/circuit"
 	"caliqec/internal/rng"
 	"math"
+	"math/bits"
 	"testing"
 )
 
@@ -81,7 +82,7 @@ func TestFrameMatchesBinomial(t *testing.T) {
 	const shots = 200000
 	fired := 0
 	fs.Sample(shots, func(res BatchResult) {
-		fired += popcount(res.Detectors[0])
+		fired += bits.OnesCount64(res.Detectors[0])
 	})
 	got := float64(fired) / shots
 	if math.Abs(got-p) > 0.004 {
@@ -102,7 +103,7 @@ func TestFrameRepCodeRates(t *testing.T) {
 	counts := make([]int, c.NumDetectors)
 	fs.Sample(shots, func(res BatchResult) {
 		for i, w := range res.Detectors {
-			counts[i] += popcount(w)
+			counts[i] += bits.OnesCount64(w)
 		}
 	})
 	// Middle-round detectors compare two syndrome measurements; detector 2
@@ -159,7 +160,7 @@ func TestDepolarize2MarginalRate(t *testing.T) {
 	const shots = 300000
 	fired := 0
 	fs.Sample(shots, func(res BatchResult) {
-		fired += popcount(res.Detectors[0])
+		fired += bits.OnesCount64(res.Detectors[0])
 	})
 	got := float64(fired) / shots
 	want := p * 8 / 15
@@ -178,9 +179,108 @@ func TestPartialBatchMasking(t *testing.T) {
 	fs := NewFrameSimulator(c, rng.New(1))
 	total := 0
 	fs.Sample(70, func(res BatchResult) {
-		total += popcount(res.Detectors[0])
+		total += bits.OnesCount64(res.Detectors[0])
 	})
 	if total != 70 {
 		t.Errorf("got %d fired shots, want exactly 70 (partial batch must be masked)", total)
+	}
+}
+
+// collectWords samples shots and returns every detector/observable word in
+// batch order, copying out of the simulator's reused scratch.
+func collectWords(fs *FrameSimulator, shots int) []uint64 {
+	var out []uint64
+	fs.Sample(shots, func(res BatchResult) {
+		out = append(out, res.Detectors...)
+		out = append(out, res.Observables...)
+	})
+	return out
+}
+
+// TestResetReproducesStream: a pooled simulator rebound to a fresh generator
+// with Reset must produce exactly the words a newly constructed simulator
+// does — the contract internal/mc's per-entry simulator pool relies on.
+func TestResetReproducesStream(t *testing.T) {
+	c := buildRepCode(3, 0.02)
+	fresh := NewFrameSimulator(c, rng.New(7))
+	want := collectWords(fresh, 500)
+
+	reused := NewFrameSimulator(c, rng.New(42))
+	collectWords(reused, 300) // dirty the frames, records and scratch
+	reused.Reset(rng.New(7))
+	got := collectWords(reused, 500)
+
+	if len(got) != len(want) {
+		t.Fatalf("word count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d = %#x after Reset, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestElisionPreservesStream: ticks and zero-probability noise channels
+// compile to nothing; interleaving them through a circuit must not perturb
+// the randomness stream, so the sampled words stay bit-identical.
+func TestElisionPreservesStream(t *testing.T) {
+	build := func(padded bool) *circuit.Circuit {
+		b := circuit.NewBuilder(5)
+		pad := func() {
+			if padded {
+				b.Tick()
+				b.XError(0, 0, 1, 2)
+				b.Depolarize1(0, 3)
+				b.ZError(0, 4)
+			}
+		}
+		b.Reset(0, 0, 1, 2)
+		pad()
+		var prev []int
+		for r := 0; r < 3; r++ {
+			b.XError(0.03, 0, 1, 2)
+			pad()
+			b.Reset(0, 3, 4)
+			b.CX(0, 3, 1, 3)
+			pad()
+			b.CX(1, 4, 2, 4)
+			recs := b.M(0.01, 3, 4)
+			pad()
+			if r == 0 {
+				b.Detector(recs[0])
+				b.Detector(recs[1])
+			} else {
+				b.Detector(prev[0], recs[0])
+				b.Detector(prev[1], recs[1])
+			}
+			prev = recs
+		}
+		dr := b.M(0, 0, 1, 2)
+		b.Detector(prev[0], dr[0], dr[1])
+		b.Detector(prev[1], dr[1], dr[2])
+		b.Observable(0, dr[0])
+		return b.Build()
+	}
+	plain := collectWords(NewFrameSimulator(build(false), rng.New(11)), 640)
+	padded := collectWords(NewFrameSimulator(build(true), rng.New(11)), 640)
+	for i := range plain {
+		if plain[i] != padded[i] {
+			t.Fatalf("word %d differs with elided instructions: %#x vs %#x", i, plain[i], padded[i])
+		}
+	}
+}
+
+// TestSampleDoesNotAllocate: after construction, repeated Sample calls reuse
+// the struct-owned det/obs scratch — the steady-state sampling loop must be
+// allocation-free.
+func TestSampleDoesNotAllocate(t *testing.T) {
+	c := buildRepCode(3, 0.02)
+	fs := NewFrameSimulator(c, rng.New(3))
+	fs.Sample(64, func(BatchResult) {})
+	allocs := testing.AllocsPerRun(10, func() {
+		fs.Sample(256, func(BatchResult) {})
+	})
+	if allocs != 0 {
+		t.Errorf("Sample allocated %.1f objects per run, want 0", allocs)
 	}
 }

@@ -1,44 +1,88 @@
 #!/bin/sh
-# Runs the mc-engine benchmark pair (cached sweep + obs overhead), writes the
-# parsed results to BENCH_mc.json, and fails if the observability layer costs
-# the warm cached sweep more than 5%. CI runs this on every push; the
-# committed BENCH_mc.json is the trajectory point for the checked-out commit.
+# Runs the mc-engine benchmark suite (cached sweep, obs overhead, batched
+# multi-patch sweep), writes the parsed results to BENCH_mc.json, and
+# enforces two budgets:
+#
+#   - the observability layer may cost the warm cached sweep at most 5%;
+#   - EvaluateBatch must beat the equivalent sequential-Evaluate loop on the
+#     8-patch cold sweep by >=1.3x on multi-core runners. On a single-core
+#     runner the scheduler has no parallel headroom by construction (batch
+#     and sequential perform identical work in a different order), so the
+#     guard degrades to "no regression" (>=0.85x, allowing scheduler
+#     noise) plus the allocation budget: batch-warm allocs/op must not
+#     exceed sequential-warm allocs/op.
+#
+# CI runs this on every push; the committed BENCH_mc.json is the trajectory
+# point for the checked-out commit.
 #
 # Usage: scripts/bench_mc.sh [benchtime]   (default 20x)
 set -eu
 benchtime="${1:-20x}"
-out="$(go test -run '^$' -bench 'BenchmarkEngineCachedSweep|BenchmarkObsOverhead' -benchtime "$benchtime" -count 1 .)"
+cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+out="$(go test -run '^$' -bench 'BenchmarkEngineCachedSweep|BenchmarkObsOverhead|BenchmarkEngineBatchSweep' -benchtime "$benchtime" -benchmem -count 1 .)"
 echo "$out"
-echo "$out" | awk -v benchtime="$benchtime" '
+echo "$out" | awk -v benchtime="$benchtime" -v cores="$cores" '
 /^Benchmark/ {
-    # e.g. BenchmarkObsOverhead/recording-8   20   4446020 ns/op
+    # e.g. BenchmarkObsOverhead/recording-8  20  4446020 ns/op  21674 B/op  170 allocs/op
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
     ns[name] = $3
+    if (NF >= 7) allocs[name] = $7
     order[n++] = name
 }
 END {
     printf "{\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cores\": %d,\n", cores
     printf "  \"ns_per_op\": {\n"
     for (i = 0; i < n; i++) {
         printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
     }
-    printf "  }"
+    printf "  },\n"
+    printf "  \"allocs_per_op\": {\n"
+    first = 1
+    for (i = 0; i < n; i++) {
+        if (order[i] in allocs) {
+            printf "%s    \"%s\": %s", (first ? "" : ",\n"), order[i], allocs[order[i]]
+            first = 0
+        }
+    }
+    printf "\n  }"
+    fail = 0
     off = ns["ObsOverhead/discard"]; on = ns["ObsOverhead/recording"]
     if (off > 0 && on > 0) {
         ratio = on / off
-        printf ",\n  \"obs_overhead_ratio\": %.4f\n", ratio
-        printf "}\n"
+        printf ",\n  \"obs_overhead_ratio\": %.4f", ratio
         if (ratio > 1.05) {
             printf "FAIL: obs overhead %.1f%% exceeds the 5%% budget\n", (ratio-1)*100 > "/dev/stderr"
-            exit 1
+            fail = 1
         }
     } else {
-        printf "\n}\n"
         printf "FAIL: ObsOverhead results missing from benchmark output\n" > "/dev/stderr"
-        exit 1
+        fail = 1
     }
+    sc = ns["EngineBatchSweep/sequential-cold"]; bc = ns["EngineBatchSweep/batch-cold"]
+    sa = allocs["EngineBatchSweep/sequential-warm"]; ba = allocs["EngineBatchSweep/batch-warm"]
+    if (sc > 0 && bc > 0) {
+        speedup = sc / bc
+        printf ",\n  \"batch_speedup_cold\": %.4f", speedup
+        printf ",\n  \"batch_warm_allocs\": %s", ba
+        printf ",\n  \"sequential_warm_allocs\": %s", sa
+        floor = (cores >= 2 ? 1.3 : 0.85)
+        if (speedup < floor) {
+            printf "FAIL: batch cold sweep speedup %.2fx below the %.1fx floor (%d cores)\n", speedup, floor, cores > "/dev/stderr"
+            fail = 1
+        }
+        if (ba + 0 > sa + 0) {
+            printf "FAIL: batch-warm allocs/op %s exceeds sequential-warm %s\n", ba, sa > "/dev/stderr"
+            fail = 1
+        }
+    } else {
+        printf "FAIL: EngineBatchSweep results missing from benchmark output\n" > "/dev/stderr"
+        fail = 1
+    }
+    printf "\n}\n"
+    if (fail) exit 1
 }' > BENCH_mc.json
 cat BENCH_mc.json
