@@ -6,6 +6,7 @@ package caliqec
 // BenchmarkFig*/BenchmarkTable* to its paper artifact.
 
 import (
+	"bytes"
 	"caliqec/internal/code"
 	"caliqec/internal/decoder"
 	"caliqec/internal/deform"
@@ -17,8 +18,10 @@ import (
 	"caliqec/internal/rng"
 	"caliqec/internal/runtime"
 	"caliqec/internal/sim"
+	"caliqec/internal/stream"
 	"caliqec/internal/workload"
 	"context"
+	"io"
 	"testing"
 )
 
@@ -278,6 +281,99 @@ func BenchmarkEngineBatchSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamReplay measures the trace replay path end to end on a
+// recorded d=3 trace: "read" is pure framing (parse + CRC, no decode),
+// "serial" adds single-threaded FrameDecoder scoring on top of it, and
+// "pipeline" is the production stream.Replay worker pipeline. CI asserts
+// the pipeline does not regress below the serial baseline
+// (scripts/bench_mc.sh, BENCH_stream.json); frames/s is the throughput
+// trajectory number.
+func BenchmarkStreamReplay(b *testing.B) {
+	p := memoryCircuit(b, 3)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(3e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := mc.Spec{Circuit: c, Decoder: decoder.KindUnionFind, Shots: 4096, Rounds: 3, Seed: 11}
+	var buf bytes.Buffer
+	if _, err := stream.Record(context.Background(), spec, &buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	fd, err := mc.New(mc.Options{}).FrameDecoder(c, decoder.KindUnionFind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := spec.Shots
+	reportRate := func(b *testing.B) {
+		b.ReportMetric(float64(frames)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	}
+	ctx := context.Background()
+
+	b.Run("read", func(b *testing.B) {
+		b.ReportAllocs()
+		var f stream.Frame
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewReader(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if err := r.Next(&f); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportRate(b)
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		var f stream.Frame
+		syn := make([]int, 0, c.NumDetectors)
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewReader(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			failures := 0
+			for {
+				if err := r.Next(&f); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+				syn = f.Syndrome(syn[:0])
+				if fd.ScoreFrame(syn, f.Obs) {
+					failures++
+				}
+			}
+			if failures == 0 {
+				b.Fatal("benchmark vacuous: no failures in the recorded trace")
+			}
+		}
+		reportRate(b)
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewReader(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats, err := stream.Replay(ctx, r, fd, stream.PipelineOptions{Metrics: obs.Discard})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Frames != frames {
+				b.Fatalf("replayed %d frames, want %d", stats.Frames, frames)
+			}
+		}
+		reportRate(b)
+	})
 }
 
 // BenchmarkIsolateReintegrate measures one full isolation/reintegration

@@ -6,6 +6,9 @@
 //	caliqec schedule     -topology hex -d 5 -ler 1e-3 compilation stage
 //	caliqec run          -d 5 -intervals 4           full in-situ loop
 //	caliqec simulate     -d 3,5,7 -p 2e-3 -shots 20000   Monte-Carlo LER sweep (batched)
+//	caliqec record       -d 3 -shots 20000 -o t.bin  persist a syndrome trace
+//	caliqec replay       -d 3 -check t.bin           decode a trace (optionally verify)
+//	caliqec serve        -addr :8790 -d 3,5          live-decode TCP syndrome streams
 //	caliqec vet          -d 3                        static IR + deformation-log checks
 //	caliqec instructions                             print Table 1
 package main
@@ -47,6 +50,12 @@ func main() {
 		err = cmdRun(args)
 	case "simulate":
 		err = cmdSimulate(args)
+	case "record":
+		err = cmdRecord(args)
+	case "replay":
+		err = cmdReplay(args)
+	case "serve":
+		err = cmdServe(args)
 	case "vet":
 		err = cmdVet(args)
 	case "instructions":
@@ -62,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: caliqec <characterize|schedule|run|simulate|vet|instructions> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: caliqec <characterize|schedule|run|simulate|record|replay|serve|vet|instructions> [flags]`)
 }
 
 func topoFlag(fs *flag.FlagSet) *string {

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChanClose enforces channel-ownership discipline: the goroutine that sends
+// on a channel owns it and is the only one allowed to close it. Contract
+// (DESIGN.md, internal/stream): every pipeline channel has a single owner
+// whose exit path closes it exactly once; a close anywhere else is a latent
+// "send on closed channel" panic that only fires under rare interleavings.
+// Three shapes are flagged:
+//
+//   - close of a channel the function received as a parameter: the callee
+//     cannot know whether the caller (or other senders) is done with it;
+//   - close of a loop-invariant channel inside a loop body: the second
+//     iteration panics (closing channels that the loop itself declares, or
+//     ranges over, stays legal);
+//   - a send on a channel after a close of the same channel earlier in the
+//     same block (defer close is exempt: it runs at function exit).
+//
+// Intentional transfers of close responsibility carry a
+// //lint:allow chanclose waiver naming the ownership handoff.
+func ChanClose() *Rule {
+	return &Rule{
+		Name: "chanclose",
+		Doc:  "channels are closed only by their owner: no close of channel parameters, no loop-invariant close inside loops, no send after close",
+		Run: func(p *Pass) {
+			for _, f := range p.Pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					w := &chancloseWalker{p: p, params: map[types.Object]bool{}}
+					w.addParams(fd.Type)
+					w.walkBody(fd.Body)
+				}
+			}
+		},
+	}
+}
+
+// chancloseWalker carries the per-function state: the channel-typed
+// parameter objects of the current function and its enclosing functions,
+// and the loop statements enclosing the node being visited (reset at every
+// function-literal boundary — a goroutine body is its own ownership scope).
+type chancloseWalker struct {
+	p      *Pass
+	params map[types.Object]bool
+	loops  []ast.Node
+}
+
+// addParams records fn's channel-typed parameter objects.
+func (w *chancloseWalker) addParams(fn *ast.FuncType) {
+	if fn.Params == nil {
+		return
+	}
+	for _, field := range fn.Params.List {
+		for _, name := range field.Names {
+			obj := w.p.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Chan); ok {
+				w.params[obj] = true
+			}
+		}
+	}
+}
+
+// closedChan returns the object of the channel identifier in a builtin
+// close(ch) call, or nil when n is not one (or closes a non-identifier,
+// which the rule leaves to the owner's judgment).
+func (w *chancloseWalker) closedChan(n ast.Node) (types.Object, *ast.CallExpr) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "close" {
+		return nil, nil
+	}
+	if b, ok := w.p.Pkg.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "close" {
+		return nil, nil // shadowed: not the builtin
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	return w.p.Pkg.Info.Uses[id], call
+}
+
+// walkBody visits every node of a statement tree, maintaining the loop
+// stack and spawning fresh walkers at function-literal boundaries.
+func (w *chancloseWalker) walkBody(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A new ownership scope: enclosing params stay visible (the
+			// literal still must not close them), the loop stack does not
+			// (the literal body runs as its own goroutine or call).
+			inner := &chancloseWalker{p: w.p, params: w.params}
+			inner.addParams(n.Type)
+			inner.walkBody(n.Body)
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			w.loops = append(w.loops, n)
+			if fs, ok := n.(*ast.ForStmt); ok {
+				w.walkLoopParts(fs.Init, fs.Cond, fs.Post, fs.Body)
+			} else {
+				rs := n.(*ast.RangeStmt)
+				w.walkLoopParts(rs.Key, rs.Value, rs.X, rs.Body)
+			}
+			w.loops = w.loops[:len(w.loops)-1]
+			return false
+		case *ast.BlockStmt:
+			w.checkSendAfterClose(n)
+			return true
+		case *ast.CallExpr:
+			w.checkClose(n)
+			return true
+		}
+		return true
+	})
+}
+
+// walkLoopParts visits a loop's sub-nodes under the current loop stack.
+func (w *chancloseWalker) walkLoopParts(parts ...ast.Node) {
+	for _, part := range parts {
+		if part != nil {
+			w.walkBody(part)
+		}
+	}
+}
+
+// checkClose applies the parameter-close and loop-invariant-close checks to
+// one close(ch) call.
+func (w *chancloseWalker) checkClose(call *ast.CallExpr) {
+	obj, _ := w.closedChan(call)
+	if obj == nil {
+		return
+	}
+	if w.params[obj] {
+		w.p.Reportf(call.Pos(), "close of channel parameter %s: the callee does not own it, so other senders may still be live", obj.Name())
+		return
+	}
+	if len(w.loops) == 0 {
+		return
+	}
+	// Closing a channel born inside any enclosing loop (its range variable,
+	// or a declaration in its body) is per-iteration ownership and fine;
+	// closing one declared outside every enclosing loop double-closes on
+	// the second iteration.
+	for _, loop := range w.loops {
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			return
+		}
+	}
+	w.p.Reportf(call.Pos(), "close of %s inside a loop but declared outside it: the second iteration closes a closed channel", obj.Name())
+}
+
+// checkSendAfterClose flags a send statement that follows a close of the
+// same channel in the same statement list. Only direct statements of the
+// block participate: branches and nested blocks have their own flow, and a
+// defer close runs at function exit, after every send.
+func (w *chancloseWalker) checkSendAfterClose(block *ast.BlockStmt) {
+	var closed map[types.Object]bool
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if obj, _ := w.closedChan(s.X); obj != nil {
+				if closed == nil {
+					closed = map[types.Object]bool{}
+				}
+				closed[obj] = true
+			}
+		case *ast.SendStmt:
+			id, ok := s.Chan.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := w.p.Pkg.Info.Uses[id]; obj != nil && closed[obj] {
+				w.p.Reportf(s.Pos(), "send on %s after it was closed earlier in this block: this panics at run time", id.Name)
+			}
+		}
+	}
+}

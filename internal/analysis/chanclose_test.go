@@ -1,0 +1,167 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"caliqec/internal/analysis"
+)
+
+func TestChanClose(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"fires on close of a channel parameter",
+			map[string]string{"a/a.go": `package a
+
+func Drain(ch chan int) {
+	for range ch {
+	}
+	close(ch)
+}
+`},
+			map[string]int{"chanclose": 1},
+		},
+		{
+			"fires on close of a parameter inside a literal",
+			map[string]string{"a/a.go": `package a
+
+func Spawn(ch chan int) {
+	go func() {
+		close(ch)
+	}()
+}
+`},
+			map[string]int{"chanclose": 1},
+		},
+		{
+			"silent on close of a locally owned channel",
+			map[string]string{"a/a.go": `package a
+
+func Owner() <-chan int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		ch <- 1
+	}()
+	return ch
+}
+`},
+			nil,
+		},
+		{
+			"fires on loop-invariant close inside a loop",
+			map[string]string{"a/a.go": `package a
+
+func Broadcast(n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		close(done)
+	}
+}
+`},
+			map[string]int{"chanclose": 1},
+		},
+		{
+			"silent when the loop declares the channel it closes",
+			map[string]string{"a/a.go": `package a
+
+func Fan(chans []chan int) {
+	for _, ch := range chans {
+		close(ch)
+	}
+	for i := 0; i < 3; i++ {
+		c := make(chan int)
+		close(c)
+	}
+}
+`},
+			nil,
+		},
+		{
+			"fires on send after close in the same block",
+			map[string]string{"a/a.go": `package a
+
+func Bad() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1
+}
+`},
+			map[string]int{"chanclose": 1},
+		},
+		{
+			"silent on send with only a deferred close",
+			map[string]string{"a/a.go": `package a
+
+func Good() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1
+}
+`},
+			nil,
+		},
+		{
+			"silent on send and close in different branches",
+			map[string]string{"a/a.go": `package a
+
+func Branch(done bool) {
+	ch := make(chan int, 1)
+	if done {
+		close(ch)
+	} else {
+		ch <- 1
+	}
+}
+`},
+			nil,
+		},
+		{
+			"silent on shadowed close",
+			map[string]string{"a/a.go": `package a
+
+func Shadow(ch chan int) {
+	close := func(chan int) {}
+	close(ch)
+}
+`},
+			nil,
+		},
+		{
+			"loop stack resets inside a goroutine body",
+			map[string]string{"a/a.go": `package a
+
+func PerItem(n int) {
+	for i := 0; i < n; i++ {
+		res := make(chan int)
+		go func() {
+			defer close(res)
+			res <- 1
+		}()
+		<-res
+	}
+}
+`},
+			nil,
+		},
+		{
+			"waiver with a reason suppresses",
+			map[string]string{"a/a.go": `package a
+
+func Handoff(ch chan int) {
+	//lint:allow chanclose ownership transferred by the constructor contract
+	close(ch)
+}
+`},
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.ChanClose()), tc.want)
+		})
+	}
+}

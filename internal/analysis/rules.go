@@ -20,6 +20,7 @@ func AllRules() []*Rule {
 		PanicPolicy(),
 		BareLoop(),
 		ObsSpan(),
+		ChanClose(),
 	}
 }
 

@@ -1,0 +1,203 @@
+package dem_test
+
+import (
+	"testing"
+
+	"caliqec/internal/circuit"
+	"caliqec/internal/decoder"
+	"caliqec/internal/dem"
+)
+
+// External test package: these cases chase the DEM through decoder.BuildGraph
+// and a live decode, which package dem itself cannot import. They pin the
+// detector-stream boundary conditions the stream pipeline feeds the decoder:
+// frames with no fired detectors, frames firing the maximum detector index,
+// and models with no observables at all.
+
+// chainCode is a 3-qubit repetition-code round: 6 detectors, 1 observable.
+func chainCode(p, q float64) *circuit.Circuit {
+	b := circuit.NewBuilder(5)
+	b.Reset(0, 0, 1, 2)
+	var prev []int
+	for r := 0; r < 2; r++ {
+		b.XError(p, 0, 1, 2)
+		b.Reset(0, 3, 4)
+		b.CX(0, 3, 1, 3)
+		b.CX(1, 4, 2, 4)
+		recs := b.M(q, 3, 4)
+		if r == 0 {
+			b.Detector(recs[0])
+			b.Detector(recs[1])
+		} else {
+			b.Detector(prev[0], recs[0])
+			b.Detector(prev[1], recs[1])
+		}
+		prev = recs
+	}
+	dr := b.M(0, 0, 1, 2)
+	b.Detector(prev[0], dr[0], dr[1])
+	b.Detector(prev[1], dr[1], dr[2])
+	b.Observable(0, dr[0])
+	return b.Build()
+}
+
+// TestZeroDetectorModel: a noisy circuit that declares observables but no
+// detectors extracts to detector-free logical mechanisms, which
+// BuildGraph must refuse — no decoder can see such an error — while a truly
+// empty model (no detectors, no visible mechanisms) builds a graph whose
+// only legal frame, the empty syndrome, predicts no flips.
+func TestZeroDetectorModel(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	b.Reset(0, 0)
+	b.XError(1e-3, 0)
+	r := b.M(0, 0)
+	b.Observable(0, r[0])
+	m, err := dem.FromCircuit(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDetectors != 0 || m.NumObs != 1 {
+		t.Fatalf("detectors=%d obs=%d, want 0/1", m.NumDetectors, m.NumObs)
+	}
+	for _, mech := range m.Mechanisms {
+		if len(mech.Detectors) != 0 {
+			t.Fatalf("mechanism %v has detectors in a zero-detector model", mech)
+		}
+	}
+	if _, err := decoder.BuildGraph(m); err == nil {
+		t.Fatal("BuildGraph accepted an undetectable logical error mechanism")
+	}
+
+	// Noise-free variant: zero detectors, zero mechanisms — decodable, and
+	// the empty frame maps to the zero prediction.
+	b2 := circuit.NewBuilder(1)
+	b2.Reset(0, 0)
+	r2 := b2.M(0, 0)
+	b2.Observable(0, r2[0])
+	m2, err := dem.FromCircuit(b2.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumDetectors != 0 || len(m2.Mechanisms) != 0 {
+		t.Fatalf("detectors=%d mechanisms=%d, want 0/0", m2.NumDetectors, len(m2.Mechanisms))
+	}
+	g, err := decoder.BuildGraph(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []decoder.DecoderKind{decoder.KindUnionFind, decoder.KindGreedy} {
+		if got := decoder.New(kind, g).Decode(nil); got != 0 {
+			t.Fatalf("kind %v: empty syndrome predicted mask %b", kind, got)
+		}
+	}
+}
+
+// TestEmptyObservableSet: detectors without any observable declaration give
+// NumObs == 0; every mechanism's mask is empty and every decode returns 0.
+func TestEmptyObservableSet(t *testing.T) {
+	b := circuit.NewBuilder(2)
+	b.Reset(0, 0, 1)
+	b.XError(2e-3, 0)
+	b.CX(0, 1)
+	r := b.M(1e-3, 1)
+	b.Detector(r[0])
+	m, err := dem.FromCircuit(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumObs != 0 || m.NumDetectors != 1 {
+		t.Fatalf("detectors=%d obs=%d, want 1/0", m.NumDetectors, m.NumObs)
+	}
+	for _, mech := range m.Mechanisms {
+		if mech.ObsMask != 0 {
+			t.Fatalf("mechanism %v flips an observable in an observable-free model", mech)
+		}
+	}
+	g, err := decoder.BuildGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decoder.New(decoder.KindUnionFind, g).Decode([]int{0}); got != 0 {
+		t.Fatalf("observable-free decode returned mask %b", got)
+	}
+}
+
+// TestMaxIndexDetector: the highest-numbered detector participates in the
+// model, and a frame firing exactly that detector decodes without touching
+// out-of-range state.
+func TestMaxIndexDetector(t *testing.T) {
+	c := chainCode(1e-3, 1e-3)
+	m, err := dem.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.NumDetectors - 1
+	seen := false
+	for _, mech := range m.Mechanisms {
+		for _, d := range mech.Detectors {
+			if d < 0 || d >= m.NumDetectors {
+				t.Fatalf("mechanism %v has out-of-range detector", mech)
+			}
+			if d == top {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Fatalf("no mechanism touches the top detector %d", top)
+	}
+	g, err := decoder.BuildGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := decoder.New(decoder.KindUnionFind, g)
+	if got := dec.Decode([]int{top}); got>>uint(m.NumObs) != 0 {
+		t.Fatalf("prediction %b uses observables beyond NumObs=%d", got, m.NumObs)
+	}
+	// All-detectors-fired is the densest legal frame; it must also decode.
+	all := make([]int, m.NumDetectors)
+	for i := range all {
+		all[i] = i
+	}
+	if got := dec.Decode(all); got>>uint(m.NumObs) != 0 {
+		t.Fatalf("dense frame prediction %b out of observable range", got)
+	}
+}
+
+// FuzzSyndromeDecode: any subset of detectors — encoded as a byte mask — must
+// decode without panicking on either decoder family, and the predicted mask
+// must stay inside the model's observable range. This is the decoder-facing
+// half of the stream boundary contract: a replayed frame is exactly such a
+// subset.
+func FuzzSyndromeDecode(f *testing.F) {
+	m, err := dem.FromCircuit(chainCode(2e-3, 1e-3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	g, err := decoder.BuildGraph(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	decs := []decoder.Decoder{
+		decoder.New(decoder.KindUnionFind, g),
+		decoder.New(decoder.KindGreedy, g),
+	}
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0x15})
+	f.Add([]byte{0x2A, 0x01})
+	f.Fuzz(func(t *testing.T, mask []byte) {
+		var syn []int
+		for d := 0; d < m.NumDetectors; d++ {
+			if d/8 < len(mask) && mask[d/8]>>(d%8)&1 == 1 {
+				syn = append(syn, d)
+			}
+		}
+		for _, dec := range decs {
+			got := dec.Decode(syn)
+			if got>>uint(m.NumObs) != 0 {
+				t.Fatalf("syndrome %v: prediction %b outside %d observables", syn, got, m.NumObs)
+			}
+		}
+	})
+}

@@ -51,10 +51,12 @@ import (
 	"sync"
 )
 
-// chunkShots is the shot-shard size: the unit of work a worker claims, the
+// ChunkShots is the shot-shard size: the unit of work a worker claims, the
 // granularity of early-stop decisions and of progress reports. A multiple
-// of 64 so every chunk runs whole frame-simulator batches.
-const chunkShots = 1024
+// of 64 so every chunk runs whole frame-simulator batches. Exported so
+// internal/stream's record path shards its shot stream identically (see
+// SampleChunks).
+const ChunkShots = 1024
 
 // Spec describes one Monte-Carlo LER evaluation.
 type Spec struct {
@@ -289,8 +291,10 @@ func (st *evalState) report(shots, failures int) {
 // prepare validates spec and draws its chunk seeds. Seeds are drawn here, on
 // the caller's goroutine and in chunk order, so the shot stream assigned to
 // chunk i depends only on the spec's own generator — not on scheduling,
-// worker count, or (for batches) which specs run alongside.
-func (e *Engine) prepare(spec Spec) (*evalState, error) {
+// worker count, or (for batches) which specs run alongside. SampleChunks
+// shares this function, which is what pins the record path's shot stream to
+// Evaluate's.
+func prepare(spec Spec) (*evalState, error) {
 	if spec.Circuit == nil {
 		return nil, fmt.Errorf("mc: nil circuit")
 	}
@@ -311,7 +315,7 @@ func (e *Engine) prepare(spec Spec) (*evalState, error) {
 	st := &evalState{
 		spec:          spec,
 		prior:         prior,
-		numChunks:     (spec.Shots + chunkShots - 1) / chunkShots,
+		numChunks:     (spec.Shots + ChunkShots - 1) / ChunkShots,
 		done:          make(chan struct{}),
 		reportedShots: -1,
 	}
@@ -334,7 +338,7 @@ func (e *Engine) prepare(spec Spec) (*evalState, error) {
 // are compared: a shot fails when the predicted observable mask differs
 // from the sampled one in any bit.
 func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
-	st, err := e.prepare(spec)
+	st, err := prepare(spec)
 	if err != nil {
 		return Result{}, err
 	}
@@ -379,7 +383,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, specs []Spec) ([]Result, err
 	}
 	states := make([]*evalState, len(specs))
 	for i, spec := range specs {
-		st, err := e.prepare(spec)
+		st, err := prepare(spec)
 		if err != nil {
 			return nil, fmt.Errorf("mc: batch spec %d: %w", i, err)
 		}
@@ -552,8 +556,8 @@ func (e *Engine) runStates(ctx context.Context, states []*evalState) error {
 				e.metrics.occupancy.Set(float64(busy) / float64(workers))
 				mu.Unlock()
 
-				n := chunkShots
-				if rem := st.spec.Shots - i*chunkShots; rem < n {
+				n := ChunkShots
+				if rem := st.spec.Shots - i*ChunkShots; rem < n {
 					n = rem
 				}
 				fails, cerr := e.runChunk(ctx, st.spec.Circuit, st.ent, st.spec.Decoder, n, st.seeds[i])
@@ -675,10 +679,7 @@ func (e *Engine) runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEnt
 	defer ent.putSim(fs)
 	sc := scratchPool.Get().(*batchScratch)
 	defer scratchPool.Put(sc)
-	obsMask := uint64(1)<<uint(c.NumObs) - 1
-	if c.NumObs >= 64 {
-		obsMask = ^uint64(0)
-	}
+	obsMask := observableMask(c.NumObs)
 	failures := 0
 	canceled := false
 	fs.SampleWhile(shots, func(b sim.BatchResult) bool {

@@ -399,7 +399,7 @@ func TestEngineMetrics(t *testing.T) {
 		t.Errorf("mc.failures = %d, want %d", got, 2*res.Failures)
 	}
 	hs := snap["mc.decode.latency"].(obs.HistogramSnapshot)
-	wantChunks := int64(2 * ((spec.Shots + chunkShots - 1) / chunkShots))
+	wantChunks := int64(2 * ((spec.Shots + ChunkShots - 1) / ChunkShots))
 	if hs.Count != wantChunks {
 		t.Errorf("mc.decode.latency count = %d, want %d chunks", hs.Count, wantChunks)
 	}

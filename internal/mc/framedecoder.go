@@ -1,0 +1,147 @@
+package mc
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/decoder"
+	"caliqec/internal/sim"
+	"context"
+	"fmt"
+)
+
+// FrameDecoder is the engine's per-frame decode hot path, exported for
+// consumers that bring their own detector frames instead of sampling them
+// in-process — internal/stream's replay/live-decode pipeline feeds recorded
+// or network-delivered syndromes through it. It wraps the same cached
+// decoding graph and pooled decoder instances Evaluate uses, so a frame
+// decoded here follows bit-for-bit the path a simulated shot takes inside
+// runChunk.
+//
+// A FrameDecoder is safe for concurrent use: every DecodeFrame call checks
+// a decoder instance out of the cache entry's pool and returns it before
+// reporting.
+type FrameDecoder struct {
+	ent     *cacheEntry
+	kind    decoder.DecoderKind
+	obsMask uint64
+	numDet  int
+	numObs  int
+	fp      [16]byte
+}
+
+// FrameDecoder returns a per-frame decoder over the (cached) decoding graph
+// of prior — the same cache entry an Evaluate with this prior would use, so
+// a live stream and an in-process evaluation of the same circuit share one
+// graph and one decoder pool.
+func (e *Engine) FrameDecoder(prior *circuit.Circuit, kind decoder.DecoderKind) (*FrameDecoder, error) {
+	if prior == nil {
+		return nil, fmt.Errorf("mc: nil circuit")
+	}
+	if prior.NumObs > 64 {
+		return nil, fmt.Errorf("mc: %d observables exceed the 64-bit mask limit", prior.NumObs)
+	}
+	ent, err := e.entryFor(prior)
+	if err != nil {
+		return nil, err
+	}
+	e.publishCacheStats()
+	return &FrameDecoder{
+		ent:     ent,
+		kind:    kind,
+		obsMask: observableMask(prior.NumObs),
+		numDet:  prior.NumDetectors,
+		numObs:  prior.NumObs,
+		fp:      Fingerprint(prior),
+	}, nil
+}
+
+// NumDetectors returns the detector count of the decoder's circuit.
+func (fd *FrameDecoder) NumDetectors() int { return fd.numDet }
+
+// NumObs returns the observable count of the decoder's circuit.
+func (fd *FrameDecoder) NumObs() int { return fd.numObs }
+
+// CircuitFingerprint returns the content fingerprint of the prior circuit
+// the decoding graph was built from. Stream consumers match it against a
+// trace header before decoding.
+func (fd *FrameDecoder) CircuitFingerprint() [16]byte { return fd.fp }
+
+// DecodeFrame decodes one frame: syndrome is the sorted list of fired
+// detectors, and the return value is the predicted observable flip mask
+// (masked to the circuit's observables), exactly as the evaluation loop
+// computes it.
+func (fd *FrameDecoder) DecodeFrame(syndrome []int) uint64 {
+	dec := fd.ent.getDecoder(fd.kind)
+	pred := dec.Decode(syndrome) & fd.obsMask
+	fd.ent.putDecoder(fd.kind, dec)
+	return pred
+}
+
+// ScoreFrame decodes one frame and reports whether it is a logical failure:
+// the predicted observable mask differs from the sampled (actual) one in
+// any bit. This is the exact failure criterion of Evaluate, so summing
+// ScoreFrame over a recorded shot stream reproduces the evaluation's
+// failure count bit-identically.
+func (fd *FrameDecoder) ScoreFrame(syndrome []int, actual uint64) bool {
+	return fd.DecodeFrame(syndrome) != actual&fd.obsMask
+}
+
+// observableMask is the mask selecting numObs low observable bits (all 64
+// at the limit). Shared by the chunk loop and FrameDecoder so both score
+// against the identical mask.
+func observableMask(numObs int) uint64 {
+	if numObs >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(numObs) - 1
+}
+
+// SampleChunks samples spec's Monte-Carlo shot stream exactly as Evaluate
+// would draw it — sharded into ChunkShots-sized chunks, each seeded by
+// splitting the spec's generator in chunk order — but sequentially on the
+// caller's goroutine, invoking visit once per 64-shot batch of detector and
+// observable flip words. The randomness consumed is bit-identical to an
+// Evaluate of the same spec regardless of that evaluation's worker count,
+// which is what makes a trace recorded from these batches a correctness
+// oracle: replaying it must reproduce Evaluate's failure count exactly.
+//
+// Early-stop criteria in spec are ignored (a recording captures the full
+// budget). The BatchResult passed to visit aliases simulator scratch and is
+// only valid during the call. A non-nil error from visit aborts sampling
+// and is returned; cancellation is checked between batches.
+func SampleChunks(ctx context.Context, spec Spec, visit func(sim.BatchResult) error) error {
+	st, err := prepare(spec)
+	if err != nil {
+		return err
+	}
+	var fs *sim.FrameSimulator
+	for i := 0; i < st.numChunks; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := ChunkShots
+		if rem := spec.Shots - i*ChunkShots; rem < n {
+			n = rem
+		}
+		if fs == nil {
+			fs = sim.NewFrameSimulator(spec.Circuit, st.seeds[i])
+		} else {
+			fs.Reset(st.seeds[i])
+		}
+		var verr error
+		fs.SampleWhile(n, func(b sim.BatchResult) bool {
+			if cerr := ctx.Err(); cerr != nil {
+				verr = cerr
+				return false
+			}
+			if berr := visit(b); berr != nil {
+				verr = berr
+				return false
+			}
+			return true
+		})
+		if verr != nil {
+			return verr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+// Package stream records, replays and live-decodes syndrome streams.
+//
+// Real devices do not hand the decoder a simulator callback: they emit a
+// continuous stream of detection events (Kelly et al. calibrate from
+// exactly such a stream, and ReloQate detects drift on it online). This
+// package closes that gap for CaliQEC with three layers:
+//
+//   - A versioned, self-describing binary trace format (this file): a
+//     CRC-checked header carrying the circuit fingerprint, detector and
+//     observable counts and seed metadata, followed by length-prefixed,
+//     CRC-checked frames of bit-packed detection events plus the sampled
+//     observable mask. Writer and Reader recover gracefully from
+//     truncation: a partial trailing frame is reported as ErrTruncated
+//     with every complete frame before it already delivered.
+//   - A record tap (record.go) that persists the exact shot stream
+//     mc.Evaluate would sample, making a trace a correctness oracle: a
+//     replay must reproduce the in-process evaluation's logical failure
+//     count bit-identically.
+//   - A replay/live-decode pipeline (pipeline.go) and TCP ingestion server
+//     (server.go) that feed any io.Reader — file, pipe, network — through
+//     the mc engine's cached decoding graph and pooled decoders with
+//     bounded queues, worker fan-out, per-stream metrics and spans, and
+//     context-cancellable draining shutdown.
+//
+// Wire format (all integers little-endian):
+//
+//	header:  magic "CQSTRM01" (8) | version u16 | flags u16 |
+//	         numDetectors u32 | numObs u32 | reserved u32 |
+//	         fingerprint [16] | seed u64 | shots u64 | crc32(header) u32
+//	frame:   payloadLen u32 | obsMask u64 | packed detectors
+//	         ceil(numDetectors/8) bytes | crc32(payload) u32
+//
+// Bit d of the packed detector bytes (byte d/8, bit d%8) is set when
+// detector d fired. payloadLen is constant for a stream (8 + frame bytes);
+// any other value marks the stream corrupt, which keeps a flipped length
+// byte from desynchronizing the framing.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/bits"
+)
+
+// Version is the trace format version this package writes.
+const Version = 1
+
+const (
+	magic      = "CQSTRM01"
+	headerBody = 2 + 2 + 4 + 4 + 4 + 16 + 8 + 8 // after magic, before CRC
+	headerLen  = len(magic) + headerBody + 4
+)
+
+// Sentinel errors. Reader methods wrap these with positional detail; test
+// with errors.Is.
+var (
+	// ErrTruncated marks a stream that ended mid-frame, or (when the header
+	// promised a shot count) at a frame boundary before delivering it.
+	// Every frame returned before the error is complete and CRC-valid, so
+	// callers may treat a truncated trace as a shorter one.
+	ErrTruncated = errors.New("stream: trace truncated")
+	// ErrCorrupt marks a frame whose length prefix or CRC is wrong. Framing
+	// cannot be trusted past this point; readers stop.
+	ErrCorrupt = errors.New("stream: trace corrupt")
+	// ErrFormat marks a header that is not a CaliQEC trace (bad magic,
+	// unsupported version, inconsistent dimensions, bad header CRC).
+	ErrFormat = errors.New("stream: not a valid trace header")
+)
+
+// Header is the self-describing trace preamble.
+type Header struct {
+	// Fingerprint is mc.Fingerprint of the sampled circuit; replay matches
+	// it against the decoder's circuit before decoding a single frame.
+	Fingerprint [16]byte
+	// NumDetectors and NumObs fix the frame geometry.
+	NumDetectors int
+	NumObs       int
+	// Seed is the metadata seed the stream was recorded with (0 when
+	// unknown, e.g. hardware streams).
+	Seed uint64
+	// Shots is the intended stream length; 0 means open-ended (a live
+	// stream), in which case clean EOF at a frame boundary is a complete
+	// trace.
+	Shots uint64
+}
+
+// FrameBytes returns the packed detector payload size for numDetectors.
+func FrameBytes(numDetectors int) int { return (numDetectors + 7) / 8 }
+
+// frameBytes is the per-frame detector payload for this header.
+func (h Header) frameBytes() int { return FrameBytes(h.NumDetectors) }
+
+func (h Header) validate() error {
+	if h.NumDetectors < 0 {
+		return fmt.Errorf("%w: negative detector count %d", ErrFormat, h.NumDetectors)
+	}
+	if h.NumObs < 0 || h.NumObs > 64 {
+		return fmt.Errorf("%w: observable count %d outside [0, 64]", ErrFormat, h.NumObs)
+	}
+	return nil
+}
+
+var crcTable = crc32.IEEETable
+
+// appendHeader encodes h.
+func appendHeader(buf []byte, h Header) []byte {
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // flags
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.NumDetectors))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.NumObs))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // reserved
+	buf = append(buf, h.Fingerprint[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Shots)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// Writer serializes a trace: the header at construction, then one frame per
+// WriteFrame/WriteSyndrome call. It performs no internal buffering beyond
+// the frame being encoded — wrap w in a bufio.Writer for small frames. Not
+// safe for concurrent use. Errors are sticky: after a write error every
+// subsequent call returns it.
+type Writer struct {
+	w      io.Writer
+	h      Header
+	fbytes int
+	buf    []byte // scratch: one encoded frame
+	packed []byte // scratch for WriteSyndrome
+	frames uint64
+	err    error
+}
+
+// NewWriter validates h and writes the trace header to w.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	tw := &Writer{
+		w:      w,
+		h:      h,
+		fbytes: h.frameBytes(),
+	}
+	tw.buf = make([]byte, 0, 4+8+tw.fbytes+4)
+	tw.packed = make([]byte, tw.fbytes)
+	hdr := appendHeader(make([]byte, 0, headerLen), h)
+	if _, err := w.Write(hdr); err != nil {
+		tw.err = err
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Header returns the header the writer was constructed with.
+func (w *Writer) Header() Header { return w.h }
+
+// Frames returns how many frames have been written.
+func (w *Writer) Frames() uint64 { return w.frames }
+
+// WriteFrame appends one frame: packed is the bit-packed detector payload
+// (length must be exactly FrameBytes(h.NumDetectors)) and obs the sampled
+// observable flip mask.
+func (w *Writer) WriteFrame(packed []byte, obs uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(packed) != w.fbytes {
+		w.err = fmt.Errorf("stream: frame payload %d bytes, want %d", len(packed), w.fbytes)
+		return w.err
+	}
+	buf := binary.LittleEndian.AppendUint32(w.buf[:0], uint32(8+w.fbytes))
+	buf = binary.LittleEndian.AppendUint64(buf, obs)
+	buf = append(buf, packed...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[4:], crcTable))
+	w.buf = buf[:0]
+	if _, err := w.w.Write(buf); err != nil {
+		w.err = err
+		return err
+	}
+	w.frames++
+	return nil
+}
+
+// WriteSyndrome appends one frame given the sorted fired-detector list
+// instead of packed bytes.
+func (w *Writer) WriteSyndrome(syndrome []int, obs uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	for i := range w.packed {
+		w.packed[i] = 0
+	}
+	for _, d := range syndrome {
+		if d < 0 || d >= w.h.NumDetectors {
+			w.err = fmt.Errorf("stream: detector %d outside [0, %d)", d, w.h.NumDetectors)
+			return w.err
+		}
+		w.packed[d>>3] |= 1 << uint(d&7)
+	}
+	return w.WriteFrame(w.packed, obs)
+}
+
+// Frame is one decoded trace record. Packed aliases Reader scratch and is
+// valid only until the next Next call; Syndrome copies out of it.
+type Frame struct {
+	Obs    uint64
+	Packed []byte
+}
+
+// Syndrome appends the fired detector indices (ascending) to buf and
+// returns it — the decoder-input form of the frame.
+func (f *Frame) Syndrome(buf []int) []int {
+	for i, b := range f.Packed {
+		for ; b != 0; b &= b - 1 {
+			buf = append(buf, i*8+bits.TrailingZeros8(b))
+		}
+	}
+	return buf
+}
+
+// Reader parses a trace from any io.Reader. Not safe for concurrent use.
+type Reader struct {
+	r      io.Reader
+	h      Header
+	fbytes int
+	buf    []byte  // scratch: one frame payload + crc
+	lenBuf [4]byte // scratch: frame length prefix (a field so Next stays allocation-free)
+	frames uint64
+	err    error // sticky terminal state (including io.EOF)
+}
+
+// NewReader reads and validates the trace header from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: short header", ErrFormat)
+		}
+		return nil, err
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	body := hdr[len(magic) : len(magic)+headerBody]
+	wantCRC := binary.LittleEndian.Uint32(hdr[len(magic)+headerBody:])
+	if crc32.Checksum(hdr[:len(magic)+headerBody], crcTable) != wantCRC {
+		return nil, fmt.Errorf("%w: header CRC mismatch", ErrFormat)
+	}
+	if v := binary.LittleEndian.Uint16(body[0:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	h := Header{
+		NumDetectors: int(binary.LittleEndian.Uint32(body[4:])),
+		NumObs:       int(binary.LittleEndian.Uint32(body[8:])),
+		Seed:         binary.LittleEndian.Uint64(body[32:]),
+		Shots:        binary.LittleEndian.Uint64(body[40:]),
+	}
+	copy(h.Fingerprint[:], body[16:32])
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	tr := &Reader{r: r, h: h, fbytes: h.frameBytes()}
+	tr.buf = make([]byte, 8+tr.fbytes+4)
+	return tr, nil
+}
+
+// Header returns the parsed trace header.
+func (r *Reader) Header() Header { return r.h }
+
+// FrameBytes returns the packed detector payload size of this trace.
+func (r *Reader) FrameBytes() int { return r.fbytes }
+
+// Frames returns how many complete frames have been delivered.
+func (r *Reader) Frames() uint64 { return r.frames }
+
+// Complete reports whether the stream delivered everything the header
+// promised (always true for open-ended streams once EOF is reached).
+func (r *Reader) Complete() bool {
+	return r.h.Shots == 0 || r.frames >= r.h.Shots
+}
+
+// Next reads the next frame into f. It returns io.EOF at a clean end of a
+// complete trace, ErrTruncated when the stream stops mid-frame (or, for
+// headers with a shot count, at a boundary before the promised count), and
+// ErrCorrupt on framing or CRC damage. The error is sticky.
+func (r *Reader) Next(f *Frame) error {
+	if r.err != nil {
+		return r.err
+	}
+	if _, err := io.ReadFull(r.r, r.lenBuf[:]); err != nil {
+		switch err {
+		case io.EOF:
+			if !r.Complete() {
+				r.err = fmt.Errorf("%w: %d of %d promised frames", ErrTruncated, r.frames, r.h.Shots)
+			} else {
+				r.err = io.EOF
+			}
+		case io.ErrUnexpectedEOF:
+			r.err = fmt.Errorf("%w: partial length prefix after frame %d", ErrTruncated, r.frames)
+		default:
+			r.err = err
+		}
+		return r.err
+	}
+	if got := binary.LittleEndian.Uint32(r.lenBuf[:]); got != uint32(8+r.fbytes) {
+		r.err = fmt.Errorf("%w: frame %d length %d, want %d", ErrCorrupt, r.frames, got, 8+r.fbytes)
+		return r.err
+	}
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			r.err = fmt.Errorf("%w: partial frame %d", ErrTruncated, r.frames)
+		} else {
+			r.err = err
+		}
+		return r.err
+	}
+	payload := r.buf[:8+r.fbytes]
+	wantCRC := binary.LittleEndian.Uint32(r.buf[8+r.fbytes:])
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		r.err = fmt.Errorf("%w: frame %d CRC mismatch", ErrCorrupt, r.frames)
+		return r.err
+	}
+	f.Obs = binary.LittleEndian.Uint64(payload)
+	f.Packed = payload[8:]
+	r.frames++
+	return nil
+}

@@ -1,0 +1,347 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func testHeader(shots uint64) Header {
+	var fp [16]byte
+	copy(fp[:], "fingerprint-test")
+	return Header{Fingerprint: fp, NumDetectors: 21, NumObs: 2, Seed: 77, Shots: shots}
+}
+
+// writeTestTrace writes n frames with a simple deterministic pattern and
+// returns the encoded bytes.
+func writeTestTrace(t *testing.T, h Header, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		syn := []int{i % h.NumDetectors, (i * 7) % h.NumDetectors}
+		if syn[0] == syn[1] {
+			syn = syn[:1]
+		}
+		if err := w.WriteSyndrome(syn, uint64(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Frames() != uint64(n) {
+		t.Fatalf("writer counted %d frames, want %d", w.Frames(), n)
+	}
+	return buf.Bytes()
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	h := testHeader(10)
+	raw := writeTestTrace(t, h, 10)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Header(); got != h {
+		t.Fatalf("header round trip: got %+v want %+v", got, h)
+	}
+	var f Frame
+	var syn []int
+	for i := 0; ; i++ {
+		err := r.Next(&f)
+		if err == io.EOF {
+			if i != 10 {
+				t.Fatalf("EOF after %d frames, want 10", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn = f.Syndrome(syn[:0])
+		want := []int{i % h.NumDetectors, (i * 7) % h.NumDetectors}
+		if want[0] == want[1] {
+			want = want[:1]
+		}
+		if len(syn) != len(want) {
+			t.Fatalf("frame %d: syndrome %v, want %v", i, syn, want)
+		}
+		for j := range want {
+			// Syndrome is ascending; want may not be.
+			found := false
+			for _, d := range syn {
+				if d == want[j] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("frame %d: syndrome %v missing detector %d", i, syn, want[j])
+			}
+		}
+		if f.Obs != uint64(i%4) {
+			t.Fatalf("frame %d: obs %d, want %d", i, f.Obs, i%4)
+		}
+	}
+	if !r.Complete() {
+		t.Fatal("complete trace reported incomplete")
+	}
+	// Sticky EOF.
+	if err := r.Next(&f); err != io.EOF {
+		t.Fatalf("second EOF read: %v", err)
+	}
+}
+
+func TestZeroDetectorAndEmptyObservableFrames(t *testing.T) {
+	// Degenerate geometries the reader/decoder must tolerate: a stream with
+	// zero detectors (every frame is an empty syndrome) and zero
+	// observables.
+	h := Header{NumDetectors: 0, NumObs: 0, Shots: 3}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.WriteSyndrome(nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	n := 0
+	for {
+		err := r.Next(&f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Syndrome(nil); len(got) != 0 {
+			t.Fatalf("zero-detector frame decoded syndrome %v", got)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("read %d frames, want 3", n)
+	}
+}
+
+func TestMaxIndexDetectorFrame(t *testing.T) {
+	// The top detector index lands in the last partial byte of the packed
+	// payload; it must survive the round trip.
+	h := Header{NumDetectors: 21, NumObs: 1, Shots: 1}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSyndrome([]int{0, 20}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSyndrome([]int{21}, 0); err == nil {
+		t.Fatal("out-of-range detector accepted")
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := r.Next(&f); err != nil {
+		t.Fatal(err)
+	}
+	syn := f.Syndrome(nil)
+	if len(syn) != 2 || syn[0] != 0 || syn[1] != 20 {
+		t.Fatalf("syndrome %v, want [0 20]", syn)
+	}
+}
+
+func TestTruncationRecovery(t *testing.T) {
+	h := testHeader(10)
+	raw := writeTestTrace(t, h, 10)
+	frameLen := 4 + 8 + FrameBytes(h.NumDetectors) + 4
+	cases := []struct {
+		name string
+		cut  int // bytes removed from the tail
+	}{
+		{"mid-payload", frameLen / 2},
+		{"partial length prefix", frameLen + 2},
+		{"frame boundary before promised count", frameLen},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewReader(bytes.NewReader(raw[:len(raw)-tc.cut]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var f Frame
+			n := 0
+			for {
+				err := r.Next(&f)
+				if err == nil {
+					n++
+					continue
+				}
+				if !errors.Is(err, ErrTruncated) {
+					t.Fatalf("after %d frames: err %v, want ErrTruncated", n, err)
+				}
+				break
+			}
+			// Every complete frame before the cut must have been delivered.
+			wantFrames := 10 - (tc.cut+frameLen-1)/frameLen
+			if n != wantFrames {
+				t.Fatalf("recovered %d frames, want %d", n, wantFrames)
+			}
+			if r.Complete() {
+				t.Fatal("truncated trace reported complete")
+			}
+		})
+	}
+}
+
+func TestOpenEndedStreamCleanEOF(t *testing.T) {
+	// Shots == 0 means open-ended: clean EOF at a frame boundary is a
+	// complete trace, not a truncation.
+	h := testHeader(0)
+	raw := writeTestTrace(t, h, 4)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	n := 0
+	for {
+		err := r.Next(&f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 4 || !r.Complete() {
+		t.Fatalf("frames=%d complete=%v, want 4/true", n, r.Complete())
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	h := testHeader(10)
+	raw := writeTestTrace(t, h, 10)
+	t.Run("payload bit flip", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		// Flip a bit inside the 3rd frame's payload (past its length
+		// prefix).
+		frameLen := 4 + 8 + FrameBytes(h.NumDetectors) + 4
+		bad[headerLen+2*frameLen+6] ^= 0x10
+		r, err := NewReader(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f Frame
+		n := 0
+		var ferr error
+		for {
+			if ferr = r.Next(&f); ferr != nil {
+				break
+			}
+			n++
+		}
+		if !errors.Is(ferr, ErrCorrupt) {
+			t.Fatalf("err %v, want ErrCorrupt", ferr)
+		}
+		if n != 2 {
+			t.Fatalf("delivered %d frames before corruption, want 2", n)
+		}
+	})
+	t.Run("length prefix damage", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[headerLen] ^= 0xFF
+		r, err := NewReader(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f Frame
+		if err := r.Next(&f); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("header damage", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[12] ^= 0x01
+		if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("err %v, want ErrFormat", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[0] = 'X'
+		if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("err %v, want ErrFormat", err)
+		}
+	})
+	t.Run("unsupported version", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(magic)] = 0xFE // version u16 low byte
+		// Recompute nothing: CRC now fails first, which is also ErrFormat.
+		if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("err %v, want ErrFormat", err)
+		}
+	})
+}
+
+func TestWriterRejectsBadGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Header{NumObs: 65}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("65 observables: err %v, want ErrFormat", err)
+	}
+	if _, err := NewWriter(&buf, Header{NumDetectors: -1}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("negative detectors: err %v, want ErrFormat", err)
+	}
+	w, err := NewWriter(&buf, Header{NumDetectors: 8, NumObs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(make([]byte, 2), 0); err == nil {
+		t.Fatal("oversized frame payload accepted")
+	}
+}
+
+// FuzzReader: arbitrary bytes must never panic the reader — they parse, or
+// they fail with one of the format sentinels (or a plain io error).
+func FuzzReader(f *testing.F) {
+	h := Header{NumDetectors: 9, NumObs: 1, Shots: 3}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, h)
+	for i := 0; i < 3; i++ {
+		w.WriteSyndrome([]int{i}, uint64(i&1))
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:headerLen+5])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var fr Frame
+		var syn []int
+		for i := 0; i < 1024; i++ {
+			if err := r.Next(&fr); err != nil {
+				return
+			}
+			syn = fr.Syndrome(syn[:0])
+			for _, d := range syn {
+				if d < 0 || d >= r.Header().NumDetectors {
+					t.Fatalf("syndrome index %d outside [0, %d)", d, r.Header().NumDetectors)
+				}
+			}
+		}
+	})
+}

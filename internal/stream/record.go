@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"caliqec/internal/mc"
+	"caliqec/internal/sim"
+	"context"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Record samples spec's Monte-Carlo shot stream exactly as mc.Evaluate
+// would draw it (mc.SampleChunks: ChunkShots-sized shards, per-chunk split
+// seeds) and persists it to w as a trace, one frame per shot. The header
+// carries the sampled circuit's fingerprint, so replay can verify it is
+// decoding against the right graph, and spec.Seed/spec.Shots as metadata.
+//
+// Because the sampled randomness is bit-identical to an in-process
+// evaluation of the same spec, replaying the trace through a FrameDecoder
+// built from the same prior reproduces that evaluation's logical failure
+// count exactly — the round-trip determinism contract CI enforces.
+//
+// Returns the number of shots written. On error (including cancellation)
+// the trace is left truncated mid-stream; Reader reports it as such.
+func Record(ctx context.Context, spec mc.Spec, w io.Writer) (int, error) {
+	if spec.Circuit == nil {
+		return 0, fmt.Errorf("stream: nil circuit")
+	}
+	h := Header{
+		Fingerprint:  mc.Fingerprint(spec.Circuit),
+		NumDetectors: spec.Circuit.NumDetectors,
+		NumObs:       spec.Circuit.NumObs,
+		Seed:         spec.Seed,
+		Shots:        uint64(spec.Shots),
+	}
+	tw, err := NewWriter(w, h)
+	if err != nil {
+		return 0, err
+	}
+	fb := h.frameBytes()
+	// One packed frame per shot of a 64-shot batch, backed by a single slab.
+	slab := make([]byte, 64*fb)
+	var packed [64][]byte
+	for s := range packed {
+		packed[s] = slab[s*fb : (s+1)*fb]
+	}
+	var actual [64]uint64
+	written := 0
+	err = mc.SampleChunks(ctx, spec, func(b sim.BatchResult) error {
+		for i := range slab {
+			slab[i] = 0
+		}
+		for s := 0; s < b.Shots; s++ {
+			actual[s] = 0
+		}
+		// Transpose detector words (bit per shot) into per-shot packed
+		// frames, walking set bits only — cost scales with fired detectors.
+		for d, word := range b.Detectors {
+			byteIdx, bit := d>>3, byte(1)<<uint(d&7)
+			for ; word != 0; word &= word - 1 {
+				packed[bits.TrailingZeros64(word)][byteIdx] |= bit
+			}
+		}
+		for o, word := range b.Observables {
+			obit := uint64(1) << uint(o)
+			for ; word != 0; word &= word - 1 {
+				actual[bits.TrailingZeros64(word)] |= obit
+			}
+		}
+		for s := 0; s < b.Shots; s++ {
+			if werr := tw.WriteFrame(packed[s], actual[s]); werr != nil {
+				return werr
+			}
+			written++
+		}
+		return nil
+	})
+	return written, err
+}

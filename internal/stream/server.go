@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"caliqec/internal/obs"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Summary is the server's single-line JSON reply to one ingested stream.
+type Summary struct {
+	Frames    int     `json:"frames"`
+	Failures  int     `json:"failures"`
+	LER       float64 `json:"ler"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// Catalog maps circuit fingerprints to frame scorers: the server's view of
+// which circuits it can decode. Safe for concurrent use.
+type Catalog struct {
+	mu sync.RWMutex
+	m  map[[16]byte]FrameScorer
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{m: map[[16]byte]FrameScorer{}}
+}
+
+// Register adds (or replaces) the scorer serving fingerprint fp.
+func (c *Catalog) Register(fp [16]byte, s FrameScorer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[fp] = s
+}
+
+// Len returns how many fingerprints are registered.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Resolve returns the scorer for h's fingerprint, verifying the trace
+// geometry against the scorer's circuit when the scorer exposes it (as
+// *mc.FrameDecoder does).
+func (c *Catalog) Resolve(h Header) (FrameScorer, error) {
+	c.mu.RLock()
+	s, ok := c.m[h.Fingerprint]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("stream: no decoder registered for circuit fingerprint %x", h.Fingerprint)
+	}
+	if dims, ok := s.(interface {
+		NumDetectors() int
+		NumObs() int
+	}); ok {
+		if dims.NumDetectors() != h.NumDetectors || dims.NumObs() != h.NumObs {
+			return nil, fmt.Errorf("stream: trace geometry (%d detectors, %d observables) does not match decoder (%d, %d)",
+				h.NumDetectors, h.NumObs, dims.NumDetectors(), dims.NumObs())
+		}
+	}
+	return s, nil
+}
+
+// Server ingests length-prefixed trace streams over TCP (or any
+// net.Listener) and live-decodes them through the replay pipeline. The
+// protocol is the trace format itself: a client connects, streams header
+// plus frames, half-closes its write side, and receives one JSON Summary
+// line. Backpressure is end-to-end — the bounded pipeline queue blocks the
+// connection read, which TCP flow control propagates to the sender — so
+// server memory stays bounded per stream regardless of client rate.
+type Server struct {
+	resolve func(Header) (FrameScorer, error)
+	opt     PipelineOptions
+
+	metrics serverMetrics
+}
+
+type serverMetrics struct {
+	conns    *obs.Counter // stream.server.conns: connections accepted
+	active   *obs.Gauge   // stream.server.active: streams being decoded now
+	rejected *obs.Counter // stream.server.rejected: streams refused (bad header / unknown circuit)
+
+	// activeN backs the active gauge: gauges are last-value, so concurrent
+	// handlers increment this atomic and publish its value.
+	activeN atomic.Int64
+}
+
+// NewServer returns a server resolving incoming streams through resolve
+// (typically Catalog.Resolve) and decoding them with opt. Metrics land in
+// opt.Metrics.
+func NewServer(resolve func(Header) (FrameScorer, error), opt PipelineOptions) *Server {
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Server{
+		resolve: resolve,
+		opt:     opt,
+		metrics: serverMetrics{
+			conns:    reg.Counter("stream.server.conns"),
+			active:   reg.Gauge("stream.server.active"),
+			rejected: reg.Counter("stream.server.rejected"),
+		},
+	}
+}
+
+// Serve accepts connections from ln until ctx is canceled, decoding each
+// stream concurrently. Shutdown is draining: cancellation closes the
+// listener and unblocks in-flight connection reads, each pipeline drains
+// its queued frames, and Serve returns only after every handler has
+// finished. A cancellation-triggered shutdown returns nil; any other
+// accept failure is returned after the same drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	var wg sync.WaitGroup
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				acceptErr = err
+			}
+			break
+		}
+		s.metrics.conns.Inc()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handleConn(ctx, conn)
+		}()
+	}
+	wg.Wait()
+	return acceptErr
+}
+
+// handleConn decodes one connection's stream and writes the summary line.
+// On cancellation the connection is closed to unblock a pending read; the
+// pipeline still drains what was queued, and the summary write is then a
+// best-effort no-op on the closed socket.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	ctx, span := obs.StartSpan(ctx, "stream.serve_conn")
+	defer span.End()
+
+	s.metrics.active.Set(float64(s.metrics.activeN.Add(1)))
+	defer func() { s.metrics.active.Set(float64(s.metrics.activeN.Add(-1))) }()
+
+	r, err := NewReader(conn)
+	if err != nil {
+		s.metrics.rejected.Inc()
+		span.Event("rejected")
+		writeSummary(conn, Summary{Error: err.Error()})
+		return
+	}
+	scorer, err := s.resolve(r.Header())
+	if err != nil {
+		s.metrics.rejected.Inc()
+		span.Event("rejected")
+		writeSummary(conn, Summary{Error: err.Error()})
+		return
+	}
+	stats, rerr := Replay(ctx, r, scorer, s.opt)
+	sum := Summary{Frames: stats.Frames, Failures: stats.Failures, Truncated: stats.Truncated}
+	if stats.Frames > 0 {
+		sum.LER = float64(stats.Failures) / float64(stats.Frames)
+	}
+	if rerr != nil && !errors.Is(rerr, ErrTruncated) {
+		sum.Error = rerr.Error()
+	}
+	span.SetAttr("frames", stats.Frames)
+	writeSummary(conn, sum)
+}
+
+// writeSummary sends one JSON summary line; errors are ignored (the peer
+// may already be gone, and the stream stats were recorded regardless).
+func writeSummary(w io.Writer, sum Summary) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(sum)
+}
+
+// CloseWriter is the half-close capability SendTrace needs from its
+// connection; *net.TCPConn implements it.
+type CloseWriter interface {
+	CloseWrite() error
+}
+
+// SendTrace streams an already-encoded trace from tr to conn, half-closes
+// the write side so the server sees end-of-stream, and decodes the server's
+// summary line. The caller owns conn (set deadlines there for timeouts) and
+// closes it afterwards.
+func SendTrace(conn io.ReadWriter, tr io.Reader) (Summary, error) {
+	if _, err := io.Copy(conn, tr); err != nil {
+		return Summary{}, fmt.Errorf("stream: sending trace: %w", err)
+	}
+	cw, ok := conn.(CloseWriter)
+	if !ok {
+		return Summary{}, fmt.Errorf("stream: connection %T cannot half-close; SendTrace requires a CloseWriter", conn)
+	}
+	if err := cw.CloseWrite(); err != nil {
+		return Summary{}, fmt.Errorf("stream: half-closing: %w", err)
+	}
+	var sum Summary
+	if err := json.NewDecoder(conn).Decode(&sum); err != nil {
+		return Summary{}, fmt.Errorf("stream: reading summary: %w", err)
+	}
+	return sum, nil
+}

@@ -12,8 +12,15 @@
 #     noise) plus the allocation budget: batch-warm allocs/op must not
 #     exceed sequential-warm allocs/op.
 #
-# CI runs this on every push; the committed BENCH_mc.json is the trajectory
-# point for the checked-out commit.
+# It then runs the stream replay suite into BENCH_stream.json with its own
+# guard: the stream.Replay worker pipeline must not regress below the
+# single-threaded read+decode baseline — >=0.95x on multi-core runners
+# (the pipeline should win there; 0.95 absorbs scheduler noise) and
+# >=0.6x on a single core, where the per-frame channel hop is pure
+# overhead by construction.
+#
+# CI runs this on every push; the committed BENCH_mc.json/BENCH_stream.json
+# are the trajectory points for the checked-out commit.
 #
 # Usage: scripts/bench_mc.sh [benchtime]   (default 20x)
 set -eu
@@ -86,3 +93,56 @@ END {
     if (fail) exit 1
 }' > BENCH_mc.json
 cat BENCH_mc.json
+
+out="$(go test -run '^$' -bench 'BenchmarkStreamReplay' -benchtime "$benchtime" -benchmem -count 1 .)"
+echo "$out"
+echo "$out" | awk -v benchtime="$benchtime" -v cores="$cores" '
+/^Benchmark/ {
+    # e.g. BenchmarkStreamReplay/pipeline-8  20  419631 ns/op  976125 frames/s  151511 B/op  8740 allocs/op
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkStreamReplay\//, "", name)
+    ns[name] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "frames/s") fps[name] = $i
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+    }
+    order[n++] = name
+}
+END {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cores\": %d,\n", cores
+    printf "  \"ns_per_op\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"frames_per_sec\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], fps[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"allocs_per_op\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], allocs[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  }"
+    fail = 0
+    serial = ns["serial"]; pipe = ns["pipeline"]; rd = ns["read"]
+    if (serial > 0 && pipe > 0 && rd > 0) {
+        speedup = serial / pipe
+        printf ",\n  \"pipeline_speedup\": %.4f", speedup
+        floor = (cores >= 2 ? 0.95 : 0.6)
+        if (speedup < floor) {
+            printf "FAIL: stream pipeline %.2fx of the serial baseline, below the %.2fx floor (%d cores)\n", speedup, floor, cores > "/dev/stderr"
+            fail = 1
+        }
+    } else {
+        printf "FAIL: StreamReplay results missing from benchmark output\n" > "/dev/stderr"
+        fail = 1
+    }
+    printf "\n}\n"
+    if (fail) exit 1
+}' > BENCH_stream.json
+cat BENCH_stream.json
