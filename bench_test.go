@@ -22,7 +22,9 @@ import (
 	"caliqec/internal/workload"
 	"context"
 	"io"
+	"sort"
 	"testing"
+	"time"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -285,11 +287,13 @@ func BenchmarkEngineBatchSweep(b *testing.B) {
 
 // BenchmarkStreamReplay measures the trace replay path end to end on a
 // recorded d=3 trace: "read" is pure framing (parse + CRC, no decode),
-// "serial" adds single-threaded FrameDecoder scoring on top of it, and
-// "pipeline" is the production stream.Replay worker pipeline. CI asserts
-// the pipeline does not regress below the serial baseline
-// (scripts/bench_mc.sh, BENCH_stream.json); frames/s is the throughput
-// trajectory number.
+// "serial" adds single-threaded FrameDecoder scoring on top of it,
+// "pipeline" is the production stream.Replay worker pipeline, and
+// "windowed" decodes the same frames through a sliding 3-round window,
+// timing every IngestRound. CI asserts the pipeline does not regress below
+// the serial baseline and that the windowed per-round p99 latency stays
+// under budget (scripts/bench_mc.sh, BENCH_stream.json); frames/s is the
+// throughput trajectory number.
 func BenchmarkStreamReplay(b *testing.B) {
 	p := memoryCircuit(b, 3)
 	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(3e-3)})
@@ -373,6 +377,72 @@ func BenchmarkStreamReplay(b *testing.B) {
 			}
 		}
 		reportRate(b)
+	})
+	// Sliding-window decoding over the same trace, with every IngestRound
+	// timed individually. round_p99_ns is the per-round decode latency the
+	// bounded-latency contract is about: the p99 across all rounds of all
+	// frames must stay under the budget scripts/bench_mc.sh enforces.
+	b.Run("windowed", func(b *testing.B) {
+		b.ReportAllocs()
+		m, err := dem.FromCircuit(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := decoder.BuildGraph(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const window = 3
+		w, err := decoder.NewWindowed(g, window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Pre-split every frame into per-round syndromes so the timed loop
+		// measures ingest+decode, not trace parsing.
+		r, err := stream.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var frameRounds [][][]int
+		var f stream.Frame
+		for {
+			if err := r.Next(&f); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			syn := f.Syndrome(nil)
+			rounds := make([][]int, g.NumRounds)
+			i := 0
+			for rr := 0; rr < g.NumRounds; rr++ {
+				j := i
+				for j < len(syn) && g.NodeRound[syn[j]] == rr {
+					j++
+				}
+				rounds[rr] = syn[i:j]
+				i = j
+			}
+			frameRounds = append(frameRounds, rounds)
+		}
+		lat := make([]float64, 0, b.N*len(frameRounds)*g.NumRounds)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, rounds := range frameRounds {
+				w.Reset()
+				for _, rs := range rounds {
+					t0 := time.Now()
+					if err := w.IngestRound(rs); err != nil {
+						b.Fatal(err)
+					}
+					lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+				}
+				_ = w.Flush()
+			}
+		}
+		b.StopTimer()
+		reportRate(b)
+		sort.Float64s(lat)
+		b.ReportMetric(lat[len(lat)*99/100], "round_p99_ns")
 	})
 }
 

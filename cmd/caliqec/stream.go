@@ -94,6 +94,7 @@ func cmdReplay(args []string) (err error) {
 	rounds := fs.Int("rounds", 0, "QEC rounds (default: the distance)")
 	workers := fs.Int("workers", 0, "decode worker fan-out (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "frame queue depth between reader and workers (0 = default)")
+	window := fs.Int("window", 0, "decode through a sliding round window of this many rounds (0 = whole-shot); resident decode state is O(window)")
 	check := fs.Bool("check", false, "re-run the in-process evaluation from the trace's seed metadata and fail on any count mismatch")
 	to := fs.String("to", "", "stream the trace to a caliqec serve instance at this TCP address instead of decoding locally")
 	oc := addObsFlags(fs)
@@ -150,11 +151,25 @@ func cmdReplay(args []string) (err error) {
 			h.Fingerprint, tp, *d, *p, r, mc.Fingerprint(c))
 	}
 	eng := mc.New(mc.Options{})
-	fd, err := eng.FrameDecoder(c, decoder.KindUnionFind)
-	if err != nil {
-		return err
+	var scorer stream.FrameScorer
+	if *window > 0 {
+		wd, err := eng.WindowedFrameDecoder(c, *window)
+		if err != nil {
+			return err
+		}
+		if h.Rounds > 0 && h.Rounds != wd.NumRounds() {
+			return fmt.Errorf("trace records %d rounds/shot but the circuit has %d", h.Rounds, wd.NumRounds())
+		}
+		fmt.Printf("windowed decoding: W=%d of %d rounds\n", *window, wd.NumRounds())
+		scorer = wd
+	} else {
+		fd, err := eng.FrameDecoder(c, decoder.KindUnionFind)
+		if err != nil {
+			return err
+		}
+		scorer = fd
 	}
-	stats, rerr := stream.Replay(ctx, tr, fd, stream.PipelineOptions{Workers: *workers, QueueDepth: *queue})
+	stats, rerr := stream.Replay(ctx, tr, scorer, stream.PipelineOptions{Workers: *workers, QueueDepth: *queue})
 	if rerr != nil && !errors.Is(rerr, stream.ErrTruncated) {
 		return rerr
 	}
@@ -171,6 +186,9 @@ func cmdReplay(args []string) (err error) {
 	if *check {
 		if stats.Truncated {
 			return fmt.Errorf("-check: cannot verify a truncated trace")
+		}
+		if *window > 0 && *window < c.NumRounds {
+			return fmt.Errorf("-check: a sliding window (W=%d < %d rounds) is not bit-identical to the whole-shot evaluation; use -window 0 or >= %d", *window, c.NumRounds, c.NumRounds)
 		}
 		if h.Shots == 0 {
 			return fmt.Errorf("-check: trace header carries no shot count")
@@ -200,6 +218,7 @@ func cmdServe(args []string) (err error) {
 	addr := fs.String("addr", "127.0.0.1:8790", "TCP listen address")
 	workers := fs.Int("workers", 0, "decode worker fan-out per stream (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "frame queue depth per stream (0 = default)")
+	window := fs.Int("window", 0, "serve sliding-window decoders with this round window (0 = whole-shot); traces recording a different rounds/shot are rejected")
 	oc := addObsFlags(fs)
 	fs.Parse(args)
 	tp, err := parseTopo(*topo)
@@ -226,12 +245,27 @@ func cmdServe(args []string) (err error) {
 		if err != nil {
 			return err
 		}
-		fd, err := eng.FrameDecoder(c, decoder.KindUnionFind)
-		if err != nil {
-			return err
+		var (
+			scorer stream.FrameScorer
+			fp     [16]byte
+			mode   string
+		)
+		if *window > 0 {
+			wd, err := eng.WindowedFrameDecoder(c, *window)
+			if err != nil {
+				return err
+			}
+			scorer, fp = wd, wd.CircuitFingerprint()
+			mode = fmt.Sprintf(" window=%d/%d", *window, wd.NumRounds())
+		} else {
+			fd, err := eng.FrameDecoder(c, decoder.KindUnionFind)
+			if err != nil {
+				return err
+			}
+			scorer, fp = fd, fd.CircuitFingerprint()
 		}
-		cat.Register(fd.CircuitFingerprint(), fd)
-		fmt.Printf("serving %v d=%d p=%.3g rounds=%d: fingerprint %x\n", tp, d, *p, r, fd.CircuitFingerprint())
+		cat.Register(fp, scorer)
+		fmt.Printf("serving %v d=%d p=%.3g rounds=%d%s: fingerprint %x\n", tp, d, *p, r, mode, fp)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

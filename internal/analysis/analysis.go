@@ -68,7 +68,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // suppression comments are reported under the pseudo-rule "lint". The
 // result is sorted by file, line, column, rule for stable output.
 func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
+	// A waiver is "unknown" only if no rule in the whole registry carries
+	// that name — a subset run (focused tests, single-rule invocations)
+	// must tolerate waivers aimed at rules it is not applying, while still
+	// catching genuine typos.
 	known := make(map[string]bool, len(rules))
+	for _, r := range AllRules() {
+		known[r.Name] = true
+	}
 	for _, r := range rules {
 		known[r.Name] = true
 	}

@@ -2,9 +2,13 @@ package circuit
 
 // Builder incrementally assembles a Circuit. It tracks the measurement
 // record so callers can reference measurements by relative offset (Stim's
-// rec[-k] convention) and have them resolved to absolute indices.
+// rec[-k] convention) and have them resolved to absolute indices. It also
+// tracks the current QEC round (the number of Ticks emitted so far) and
+// stamps it onto measurements and detectors, so the fully unrolled circuit
+// keeps its round structure.
 type Builder struct {
-	c Circuit
+	c    Circuit
+	tick int // ticks emitted so far == current round index
 }
 
 // NewBuilder returns a builder for a circuit over numQubits qubits.
@@ -99,7 +103,7 @@ func (b *Builder) measure(op OpCode, p float64, qubits []int) []int {
 	for i := range qubits {
 		recs[i] = b.c.NumMeas + i
 	}
-	b.push(Instruction{Op: op, Targets: qubits, Arg: p})
+	b.push(Instruction{Op: op, Targets: qubits, Arg: p, Round: b.tick})
 	b.c.NumMeas += len(qubits)
 	return recs
 }
@@ -149,7 +153,7 @@ func (b *Builder) YError(p float64, qubits ...int) {
 // mid-construction.
 func (b *Builder) Detector(recs ...int) int {
 	idx := b.c.NumDetectors
-	b.push(Instruction{Op: OpDetector, Recs: append([]int(nil), recs...), Index: idx})
+	b.push(Instruction{Op: OpDetector, Recs: append([]int(nil), recs...), Index: idx, Round: b.tick})
 	b.c.NumDetectors++
 	return idx
 }
@@ -176,8 +180,15 @@ func (b *Builder) Observable(obs int, recs ...int) {
 	b.push(Instruction{Op: OpObservable, Recs: append([]int(nil), recs...), Index: obs})
 }
 
-// Tick appends a timing marker (one QEC-cycle boundary).
-func (b *Builder) Tick() { b.push(Instruction{Op: OpTick}) }
+// Tick appends a timing marker (one QEC-cycle boundary) and advances the
+// round counter stamped onto subsequent measurements and detectors.
+func (b *Builder) Tick() {
+	b.push(Instruction{Op: OpTick})
+	b.tick++
+}
+
+// Round returns the current round index: the number of Ticks emitted so far.
+func (b *Builder) Round() int { return b.tick }
 
 // Repeat invokes body n times; body receives the iteration number. The
 // circuit is fully unrolled, so relative measurement references inside body
@@ -196,6 +207,12 @@ func (b *Builder) Repeat(n int, body func(round int)) {
 func (b *Builder) Finish() (*Circuit, error) {
 	c := b.c
 	b.c = Circuit{}
+	b.tick = 0
+	for _, in := range c.Instructions {
+		if in.Op == OpDetector && in.Round >= c.NumRounds {
+			c.NumRounds = in.Round + 1
+		}
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}

@@ -91,6 +91,13 @@ type Instruction struct {
 	Arg     float64 // probability for noise/measurement ops
 	Recs    []int   // absolute measurement indices (OpDetector/OpObservable)
 	Index   int     // detector index, or observable index, for annotations
+	// Round is the QEC-round index (the number of OpTicks emitted before
+	// this instruction) recorded by the Builder on OpDetector, OpM and OpMX.
+	// Unrolling Repeat therefore does not erase the round structure: every
+	// detector and every measurement record bit keeps its provenance, which
+	// is what lets the decoding graph be layered by round and the windowed
+	// decoder commit corrections behind a sliding round window.
+	Round int
 }
 
 // String renders the instruction in a Stim-like textual form.
@@ -125,6 +132,25 @@ type Circuit struct {
 	NumMeas      int // total measurement record bits
 	NumDetectors int
 	NumObs       int
+	// NumRounds is 1 + the largest detector Round, or 0 when the circuit
+	// carries no round structure (hand-assembled literals predating round
+	// tracking). The Builder computes it in Finish.
+	NumRounds int
+}
+
+// DetectorRounds returns the round index of every detector, in detector
+// order. Returns nil when the circuit carries no round structure.
+func (c *Circuit) DetectorRounds() []int {
+	if c.NumRounds == 0 {
+		return nil
+	}
+	rounds := make([]int, 0, c.NumDetectors)
+	for _, in := range c.Instructions {
+		if in.Op == OpDetector {
+			rounds = append(rounds, in.Round)
+		}
+	}
+	return rounds
 }
 
 // String renders the whole circuit, one instruction per line.
@@ -159,6 +185,7 @@ func (c *Circuit) Validate() error {
 	meas := 0
 	nextDet := 0
 	maxObs := -1
+	prevDetRound := 0
 	for i, in := range c.Instructions {
 		for _, t := range in.Targets {
 			if t < 0 || t >= c.NumQubits {
@@ -194,6 +221,20 @@ func (c *Circuit) Validate() error {
 					return fmt.Errorf("circuit: instr %d: detector index %d, want %d (indices must be dense and in emission order)", i, in.Index, nextDet)
 				}
 				nextDet++
+				// Detector rounds must be monotone non-decreasing in emission
+				// order: the windowed decoder splits a sorted syndrome into
+				// rounds with a single linear walk, which only works when the
+				// detector-index order agrees with the round order. Circuits
+				// without round structure have all rounds zero, which passes
+				// trivially. The range check applies only when NumRounds is
+				// set, tolerating hand-built literals that never call Finish.
+				if in.Round < prevDetRound {
+					return fmt.Errorf("circuit: instr %d: detector %d at round %d after detector at round %d (rounds must be non-decreasing)", i, in.Index, in.Round, prevDetRound)
+				}
+				prevDetRound = in.Round
+				if c.NumRounds > 0 && in.Round >= c.NumRounds {
+					return fmt.Errorf("circuit: instr %d: detector %d round %d out of range [0,%d)", i, in.Index, in.Round, c.NumRounds)
+				}
 			} else {
 				if in.Index < 0 {
 					return fmt.Errorf("circuit: instr %d: negative observable index %d", i, in.Index)

@@ -118,3 +118,86 @@ func TestNoiseZeroSkipped(t *testing.T) {
 		t.Errorf("zero-probability noise should be elided, got %d instrs", len(c.Instructions))
 	}
 }
+
+func TestRoundStamping(t *testing.T) {
+	b := NewBuilder(2)
+	b.Reset(0, 0, 1)
+	b.Tick()
+	b.Repeat(3, func(round int) {
+		recs := b.M(0, 0)
+		if round == 0 {
+			b.Detector(recs[0])
+		} else {
+			b.DetectorRel(-1, -2)
+		}
+		b.Tick()
+	})
+	recs := b.M(0, 1)
+	b.Detector(recs[0])
+	b.Observable(0, recs[0])
+	c := b.Build()
+	if c.NumRounds != 5 {
+		t.Fatalf("NumRounds=%d, want 5 (detectors at rounds 1..4)", c.NumRounds)
+	}
+	want := []int{1, 2, 3, 4}
+	got := c.DetectorRounds()
+	if len(got) != len(want) {
+		t.Fatalf("DetectorRounds len=%d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("detector %d round=%d, want %d", i, got[i], want[i])
+		}
+	}
+	// Measurement provenance: the three loop measurements land in rounds
+	// 1,2,3; the final readout in round 4.
+	var mRounds []int
+	for _, in := range c.Instructions {
+		if in.Op == OpM {
+			mRounds = append(mRounds, in.Round)
+		}
+	}
+	wantM := []int{1, 2, 3, 4}
+	for i := range wantM {
+		if mRounds[i] != wantM[i] {
+			t.Errorf("measurement %d round=%d, want %d", i, mRounds[i], wantM[i])
+		}
+	}
+}
+
+func TestRoundlessCircuitStillValid(t *testing.T) {
+	// Hand-assembled literals (no Builder, no rounds) must keep validating:
+	// all-zero rounds are trivially monotone and NumRounds==0 disables the
+	// range check.
+	c := &Circuit{
+		Instructions: []Instruction{
+			{Op: OpM, Targets: []int{0}},
+			{Op: OpDetector, Recs: []int{0}, Index: 0},
+		},
+		NumQubits: 1, NumMeas: 1, NumDetectors: 1,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.DetectorRounds() != nil {
+		t.Error("DetectorRounds should be nil without round structure")
+	}
+}
+
+func TestValidateDetectorRoundMonotone(t *testing.T) {
+	c := &Circuit{
+		Instructions: []Instruction{
+			{Op: OpM, Targets: []int{0, 1}},
+			{Op: OpDetector, Recs: []int{0}, Index: 0, Round: 2},
+			{Op: OpDetector, Recs: []int{1}, Index: 1, Round: 1},
+		},
+		NumQubits: 2, NumMeas: 2, NumDetectors: 2, NumRounds: 3,
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("want error for decreasing detector rounds")
+	}
+	c.Instructions[2].Round = 5 // out of [0, NumRounds)
+	if err := c.Validate(); err == nil {
+		t.Fatal("want error for detector round out of range")
+	}
+}

@@ -18,21 +18,38 @@ import (
 )
 
 // Graph is a decoding graph: nodes are detectors plus one virtual boundary
-// node, edges are graph-like error mechanisms.
+// node, edges are graph-like error mechanisms. When the source model carries
+// round structure the graph is additionally layered by round: NodeRound maps
+// each detector to its QEC round, RoundNodes lists each round's detectors in
+// ascending index order, and every edge records the round span it covers.
+// The edge list and adjacency order are independent of the layering — they
+// are built in mechanism order exactly as before — so round metadata never
+// perturbs union-find tie-breaking.
 type Graph struct {
 	NumDetectors int
 	Boundary     int // index of the virtual boundary node (= NumDetectors)
 	Edges        []Edge
 	Adj          [][]int // node -> incident edge indices
+
+	// Round layering; zero/nil when the model has no round structure.
+	NumRounds  int
+	NodeRound  []int   // detector -> round (boundary node excluded)
+	RoundNodes [][]int // round -> detector indices, ascending
 }
 
 // Edge is one decoding-graph edge.
 type Edge struct {
-	U, V    int     // node indices; V may be the boundary node
+	U, V    int     // node indices; U is always a detector, V may be the boundary
 	P       float64 // total mechanism probability
 	W       float64 // weight = ln((1-p)/p), clamped to ≥ minEdgeWeight
 	WInt    int     // integer weight used by union-find growth
 	ObsMask uint64  // observables flipped when this edge is in the correction
+	// MinRound/MaxRound span the rounds of the edge's real endpoints: equal
+	// for space-like and boundary edges, adjacent for time-like edges. The
+	// windowed decoder uses only edges whose span lies inside the active
+	// window. Both zero when the graph has no round structure.
+	MinRound int
+	MaxRound int
 }
 
 const minEdgeWeight = 1e-3
@@ -103,6 +120,31 @@ func BuildGraph(m *dem.Model) (*Graph, error) {
 		}
 		g.Adj[e.U] = append(g.Adj[e.U], i)
 		g.Adj[e.V] = append(g.Adj[e.V], i)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.NumRounds > 0 {
+		g.NumRounds = m.NumRounds
+		g.NodeRound = append([]int(nil), m.DetectorRounds...)
+		g.RoundNodes = make([][]int, m.NumRounds)
+		for d, r := range g.NodeRound {
+			g.RoundNodes[r] = append(g.RoundNodes[r], d)
+		}
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			e.MinRound = g.NodeRound[e.U]
+			e.MaxRound = e.MinRound
+			if e.V != g.Boundary {
+				rv := g.NodeRound[e.V]
+				if rv < e.MinRound {
+					e.MinRound = rv
+				}
+				if rv > e.MaxRound {
+					e.MaxRound = rv
+				}
+			}
+		}
 	}
 	return g, nil
 }

@@ -1,7 +1,6 @@
 package decoder
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -43,17 +42,51 @@ type pqItem struct {
 	d    float64
 }
 
+// pq is a typed binary min-heap on pqItem.d. The sift routines mirror
+// container/heap's up/down exactly (same comparisons, same swap pattern),
+// so the pop order among equal-distance items — and hence Dijkstra's `via`
+// tie-breaking — is bit-identical to the old container/heap-backed version,
+// without the interface{} boxing per push/pop.
 type pq []pqItem
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].d < p[j].d }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
+func (p *pq) push(it pqItem) {
+	*p = append(*p, it)
+	// Sift up from the new last element.
+	h := *p
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].d < h[i].d) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (p *pq) pop() pqItem {
+	h := *p
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift down over h[:n].
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].d < h[j1].d {
+			j = j2
+		}
+		if !(h[j].d < h[i].d) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*p = h[:n]
 	return it
 }
 
@@ -67,7 +100,7 @@ func (d *Greedy) dijkstra(src int) {
 	d.via[src] = -1
 	d.mark[src] = d.gen
 	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+		it := q.pop()
 		if d.settled[it.node] == d.settledGen {
 			continue
 		}
@@ -83,7 +116,7 @@ func (d *Greedy) dijkstra(src int) {
 				d.mark[y] = d.gen
 				d.dist[y] = nd
 				d.via[y] = ei
-				heap.Push(&q, pqItem{y, nd})
+				q.push(pqItem{y, nd})
 			}
 		}
 	}

@@ -1,0 +1,54 @@
+package decoder
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refPQ is the old container/heap-backed implementation, kept in test code
+// as the oracle: the typed pq must reproduce its pop order exactly,
+// including ties, since Dijkstra's via[] tie-breaking depends on it.
+type refPQ []pqItem
+
+func (p refPQ) Len() int            { return len(p) }
+func (p refPQ) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p refPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *refPQ) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *refPQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+func TestTypedPQMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var a pq
+		var b refPQ
+		// Interleave pushes and pops; duplicate keys are likely (d drawn
+		// from a small set) so tie order is genuinely exercised.
+		for op := 0; op < 400; op++ {
+			if len(a) == 0 || rng.Intn(3) > 0 {
+				it := pqItem{node: op, d: float64(rng.Intn(8))}
+				a.push(it)
+				heap.Push(&b, it)
+			} else {
+				x := a.pop()
+				y := heap.Pop(&b).(pqItem)
+				if x != y {
+					t.Fatalf("trial %d op %d: typed pop %+v, container/heap pop %+v", trial, op, x, y)
+				}
+			}
+		}
+		for len(a) > 0 {
+			x := a.pop()
+			y := heap.Pop(&b).(pqItem)
+			if x != y {
+				t.Fatalf("trial %d drain: typed pop %+v, container/heap pop %+v", trial, x, y)
+			}
+		}
+	}
+}

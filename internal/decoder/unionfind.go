@@ -35,6 +35,12 @@ type UnionFind struct {
 	order      []int
 	stack      []int
 	carry      []bool
+	chosen     []int // edge indices of the correction extracted by peel
+
+	// Active round window [winLo, winHi): edges whose round span falls
+	// outside it are invisible to growth. Whole-shot Decode sets the window
+	// to cover everything, so the filter is a no-op there.
+	winLo, winHi int
 }
 
 // NewUnionFind returns a union-find decoder over g.
@@ -96,9 +102,27 @@ func (u *UnionFind) active(r int) bool { return u.parity[r] == 1 && !u.hasBnd[r]
 
 // Decode implements Decoder.
 func (u *UnionFind) Decode(syndrome []int) uint64 {
+	const maxInt = int(^uint(0) >> 1)
+	return u.decode(syndrome, 0, maxInt)
+}
+
+// DecodeWindow decodes the syndrome using only edges whose round span lies
+// entirely inside [lo, hi), and returns the predicted observable mask along
+// with the correction's edge indices appended to chosen. The edge filter is
+// the only difference from Decode: with a window covering every round the
+// two are bit-identical, growth order included. The returned slice aliases
+// chosen's backing array when capacity allows.
+func (u *UnionFind) DecodeWindow(syndrome []int, lo, hi int, chosen []int) (uint64, []int) {
+	obs := u.decode(syndrome, lo, hi)
+	return obs, append(chosen, u.chosen...)
+}
+
+func (u *UnionFind) decode(syndrome []int, lo, hi int) uint64 {
+	u.chosen = u.chosen[:0]
 	if len(syndrome) == 0 {
 		return 0
 	}
+	u.winLo, u.winHi = lo, hi
 	g := u.g
 	n := g.NumDetectors + 1
 	// Reset scratch state (touched nodes/edges only would be faster; a full
@@ -169,6 +193,9 @@ func (u *UnionFind) Decode(syndrome []int) uint64 {
 				e := &g.Edges[ei]
 				if u.grown[ei] {
 					continue
+				}
+				if e.MinRound < u.winLo || e.MaxRound >= u.winHi {
+					continue // outside the active window, drop
 				}
 				ru, rv := u.find(e.U), u.find(e.V)
 				if ru == rv {
@@ -286,6 +313,7 @@ func (u *UnionFind) peel() uint64 {
 			carry[v] = false
 			carry[p] = !carry[p]
 			obs ^= e.ObsMask
+			u.chosen = append(u.chosen, ei)
 		}
 	}
 	return obs

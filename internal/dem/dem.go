@@ -34,6 +34,39 @@ type Model struct {
 	NumDetectors int
 	NumObs       int
 	Mechanisms   []Mechanism
+	// NumRounds and DetectorRounds carry the source circuit's round
+	// structure through extraction: DetectorRounds[d] is the QEC round in
+	// which detector d fires. Both are zero/nil when the circuit predates
+	// round tracking; the decoder then falls back to whole-shot decoding.
+	NumRounds      int
+	DetectorRounds []int
+}
+
+// Validate checks the model's round map when present: length matching
+// NumDetectors, rounds within [0, NumRounds), and monotone non-decreasing
+// in detector order (the contract the windowed decoder's round splitter
+// relies on).
+func (m *Model) Validate() error {
+	if m.NumRounds == 0 && m.DetectorRounds == nil {
+		return nil
+	}
+	if m.NumRounds <= 0 {
+		return fmt.Errorf("dem: DetectorRounds set but NumRounds=%d", m.NumRounds)
+	}
+	if len(m.DetectorRounds) != m.NumDetectors {
+		return fmt.Errorf("dem: %d detector rounds for %d detectors", len(m.DetectorRounds), m.NumDetectors)
+	}
+	prev := 0
+	for d, r := range m.DetectorRounds {
+		if r < 0 || r >= m.NumRounds {
+			return fmt.Errorf("dem: detector %d round %d out of range [0,%d)", d, r, m.NumRounds)
+		}
+		if r < prev {
+			return fmt.Errorf("dem: detector %d round %d after round %d (rounds must be non-decreasing)", d, r, prev)
+		}
+		prev = r
+	}
+	return nil
 }
 
 // String renders the model, one mechanism per line, for debugging.
@@ -179,12 +212,20 @@ func (ex *extractor) run() (*Model, error) {
 			}
 		}
 	}
-	m := &Model{NumDetectors: ex.c.NumDetectors, NumObs: ex.c.NumObs}
+	m := &Model{
+		NumDetectors:   ex.c.NumDetectors,
+		NumObs:         ex.c.NumObs,
+		NumRounds:      ex.c.NumRounds,
+		DetectorRounds: ex.c.DetectorRounds(),
+	}
 	for _, k := range ex.order {
 		mech := ex.merged[k]
 		if mech.P > 0 {
 			m.Mechanisms = append(m.Mechanisms, *mech)
 		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -1,0 +1,60 @@
+package dem
+
+import (
+	"caliqec/internal/code"
+	"caliqec/internal/lattice"
+	"testing"
+)
+
+func TestModelCarriesRounds(t *testing.T) {
+	patch := code.NewPatch(lattice.NewSquare(3))
+	circ, err := patch.MemoryCircuit(code.MemoryOptions{
+		Rounds: 4, Basis: lattice.BasisZ, Noise: code.UniformNoise(1e-3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromCircuit(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRounds != circ.NumRounds || m.NumRounds == 0 {
+		t.Fatalf("model NumRounds=%d, circuit NumRounds=%d", m.NumRounds, circ.NumRounds)
+	}
+	if len(m.DetectorRounds) != m.NumDetectors {
+		t.Fatalf("%d detector rounds for %d detectors", len(m.DetectorRounds), m.NumDetectors)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every round in [1, NumRounds) should own at least one detector; the
+	// memory circuit emits its first detectors after the first Tick.
+	seen := make(map[int]int)
+	for _, r := range m.DetectorRounds {
+		seen[r]++
+	}
+	for r := 1; r < m.NumRounds; r++ {
+		if seen[r] == 0 {
+			t.Errorf("round %d owns no detectors", r)
+		}
+	}
+}
+
+func TestModelValidateRejectsBadRounds(t *testing.T) {
+	m := &Model{NumDetectors: 2, NumRounds: 2, DetectorRounds: []int{1, 0}}
+	if err := m.Validate(); err == nil {
+		t.Error("want error for decreasing rounds")
+	}
+	m = &Model{NumDetectors: 2, NumRounds: 1, DetectorRounds: []int{0, 1}}
+	if err := m.Validate(); err == nil {
+		t.Error("want error for round out of range")
+	}
+	m = &Model{NumDetectors: 2, NumRounds: 2, DetectorRounds: []int{0}}
+	if err := m.Validate(); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	m = &Model{NumDetectors: 2} // roundless: fine
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}

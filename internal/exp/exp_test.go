@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -220,6 +221,40 @@ func TestRoutingShape(t *testing.T) {
 	}
 	if rep.Values["parallelism_largest"] < 8.6 {
 		t.Errorf("largest fabric sustains only %.1f parallel ops; Table 2 needs up to 8.6", rep.Values["parallelism_largest"])
+	}
+}
+
+func TestAblateWindowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	rep := run(t, "ablate-window")
+	const shots = 40000.0
+	for _, d := range []int{3, 5} {
+		whole := rep.Values[fmtKey("whole_d%d", d)]
+		if whole <= 0 {
+			t.Fatalf("d=%d: no whole-shot failures; experiment underpowered", d)
+		}
+		// A window of d+1 rounds (and anything wider) must match whole-shot
+		// within statistical tolerance (5 sigma of the whole-shot failure
+		// count plus a small floor) — the committed equivalence criterion for
+		// streaming decoding. At d=3 that bound is already met at W=3.
+		tol := (5*math.Sqrt(whole*shots) + 5) / shots
+		for _, w := range []int{d + 1, 2*d + 2} {
+			wl := rep.Values[fmt.Sprintf("w%d_d%d", w, d)]
+			if diff := wl - whole; diff > tol || diff < -tol {
+				t.Errorf("d=%d W=%d: windowed LER %.4g vs whole-shot %.4g exceeds tolerance %.4g", d, w, wl, whole, tol)
+			}
+		}
+		// Narrow windows degrade monotonically, never catastrophically:
+		// W=2 commits every time-like chain one round early.
+		w2, w3 := rep.Values[fmt.Sprintf("w2_d%d", d)], rep.Values[fmt.Sprintf("w3_d%d", d)]
+		if w2 < w3-tol {
+			t.Errorf("d=%d: W=2 LER %.4g below W=3 %.4g; widening the window must not hurt", d, w2, w3)
+		}
+		if w2 > 10*whole {
+			t.Errorf("d=%d: W=2 LER %.4g more than 10x whole-shot %.4g — commit rule broken, not just early", d, w2, whole)
+		}
 	}
 }
 

@@ -114,6 +114,7 @@ func All() map[string]Runner {
 		"ablate-deltad":   AblateDeltaD,
 		"ablate-priors":   AblatePriors,
 		"ablate-schedule": AblateSchedule,
+		"ablate-window":   AblateWindow,
 		"routing":         RoutingParallelism,
 		"localize":        LocalizeDrift,
 		"decode-cost":     DecodeCost,
@@ -123,5 +124,5 @@ func All() map[string]Runner {
 // Order returns experiment IDs in presentation order.
 func Order() []string {
 	return []string{"fig1", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "fit", "cycle",
-		"ablate-decoder", "ablate-deltad", "ablate-priors", "ablate-schedule", "routing", "localize", "decode-cost"}
+		"ablate-decoder", "ablate-deltad", "ablate-priors", "ablate-schedule", "ablate-window", "routing", "localize", "decode-cost"}
 }

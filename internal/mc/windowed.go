@@ -1,0 +1,236 @@
+package mc
+
+import (
+	"caliqec/internal/circuit"
+	"caliqec/internal/decoder"
+	"caliqec/internal/obs"
+	"caliqec/internal/sim"
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// WindowedFrameDecoder is the bounded-latency counterpart of FrameDecoder:
+// it decodes frames through a sliding round window (decoder.Windowed over
+// the same cached graph an Evaluate would use), committing corrections as
+// rounds slide out. Resident decode state is O(window), independent of how
+// many rounds a stream carries, and each round's decode cost is bounded by
+// one window decode — the property the per-round latency budget in CI
+// measures.
+//
+// Safe for concurrent use: every call checks a windowed decoder out of the
+// pool and returns it before reporting.
+type WindowedFrameDecoder struct {
+	ent       *cacheEntry
+	window    int
+	obsMask   uint64
+	numDet    int
+	numObs    int
+	numRounds int
+	fp        [16]byte
+	pool      sync.Pool // *decoder.Windowed
+
+	// Optional per-round latency histogram (stream.decode.round.latency),
+	// installed by SetRoundMetrics. Nil handles skip timing entirely.
+	registry     *obs.Registry
+	roundLatency *obs.Histogram
+}
+
+// WindowedFrameDecoder returns a sliding-window per-frame decoder over the
+// cached decoding graph of prior. The prior must carry round structure
+// (built by circuit.Builder with Ticks) and window must be >= 1; a window
+// of at least NumRounds degenerates to whole-shot decoding bit-identically.
+func (e *Engine) WindowedFrameDecoder(prior *circuit.Circuit, window int) (*WindowedFrameDecoder, error) {
+	if prior == nil {
+		return nil, fmt.Errorf("mc: nil circuit")
+	}
+	if prior.NumObs > 64 {
+		return nil, fmt.Errorf("mc: %d observables exceed the 64-bit mask limit", prior.NumObs)
+	}
+	ent, err := e.entryFor(prior)
+	if err != nil {
+		return nil, err
+	}
+	// Build one eagerly so configuration errors (roundless graph, bad
+	// window) surface here rather than inside a decode worker.
+	first, err := decoder.NewWindowed(ent.graph, window)
+	if err != nil {
+		return nil, err
+	}
+	e.publishCacheStats()
+	wd := &WindowedFrameDecoder{
+		ent:       ent,
+		window:    window,
+		obsMask:   observableMask(prior.NumObs),
+		numDet:    prior.NumDetectors,
+		numObs:    prior.NumObs,
+		numRounds: ent.graph.NumRounds,
+		fp:        Fingerprint(prior),
+	}
+	g := ent.graph
+	wd.pool.New = func() interface{} {
+		w, nerr := decoder.NewWindowed(g, window)
+		if nerr != nil {
+			panic(nerr) //lint:allow panicpolicy same (graph, window) pair validated by the first NewWindowed above; failure here is an internal invariant break
+		}
+		return w
+	}
+	wd.pool.Put(first)
+	return wd, nil
+}
+
+// NumDetectors returns the detector count of the decoder's circuit.
+func (wd *WindowedFrameDecoder) NumDetectors() int { return wd.numDet }
+
+// NumObs returns the observable count of the decoder's circuit.
+func (wd *WindowedFrameDecoder) NumObs() int { return wd.numObs }
+
+// NumRounds returns the circuit's round count.
+func (wd *WindowedFrameDecoder) NumRounds() int { return wd.numRounds }
+
+// Window returns the window size in rounds.
+func (wd *WindowedFrameDecoder) Window() int { return wd.window }
+
+// CircuitFingerprint returns the content fingerprint of the prior circuit.
+func (wd *WindowedFrameDecoder) CircuitFingerprint() [16]byte { return wd.fp }
+
+// SetRoundMetrics installs a per-round decode-latency histogram
+// (stream.decode.round.latency) in r; nil selects obs.Default. Call before
+// decoding starts.
+func (wd *WindowedFrameDecoder) SetRoundMetrics(r *obs.Registry) {
+	if r == nil {
+		r = obs.Default
+	}
+	wd.registry = r
+	wd.roundLatency = r.Histogram("stream.decode.round.latency")
+}
+
+// DecodeFrame decodes one whole-shot frame through the sliding window:
+// the sorted syndrome is split into rounds (a single linear walk — detector
+// order agrees with round order by the dem round-map contract) and ingested
+// round by round, committing as the window slides. Returns the predicted
+// observable flip mask.
+func (wd *WindowedFrameDecoder) DecodeFrame(syndrome []int) uint64 {
+	w := wd.pool.Get().(*decoder.Windowed)
+	w.Reset()
+	nodeRound := wd.ent.graph.NodeRound
+	i := 0
+	for r := 0; r < wd.numRounds; r++ {
+		j := i
+		for j < len(syndrome) && nodeRound[syndrome[j]] == r {
+			j++
+		}
+		var err error
+		if wd.roundLatency != nil {
+			start := wd.registry.Now()
+			err = w.IngestRound(syndrome[i:j])
+			wd.roundLatency.Observe(wd.registry.Now().Sub(start).Nanoseconds())
+		} else {
+			err = w.IngestRound(syndrome[i:j])
+		}
+		if err != nil {
+			// Unreachable for sorted in-range syndromes of this circuit;
+			// reaching it means the splitter contract broke.
+			panic(err) //lint:allow panicpolicy unreachable for the splitter's sorted in-range rounds; reaching it is an internal invariant break
+		}
+		i = j
+	}
+	pred := w.Flush() & wd.obsMask
+	wd.pool.Put(w)
+	return pred
+}
+
+// ScoreFrame implements stream.FrameScorer: decode one frame through the
+// window and report whether it is a logical failure.
+func (wd *WindowedFrameDecoder) ScoreFrame(syndrome []int, actual uint64) bool {
+	return wd.DecodeFrame(syndrome) != actual&wd.obsMask
+}
+
+// WindowAblation is the result of AblateWindows: logical failure counts of
+// whole-shot decoding and of each windowed decoder over one common sampled
+// shot stream, so differences are attributable to the window alone.
+type WindowAblation struct {
+	Shots        int
+	WholeFails   int   // whole-shot union-find failures
+	Windows      []int // ablated window sizes
+	WindowFails  []int // failures per window size, aligned with Windows
+	NumRounds    int   // circuit rounds (window >= NumRounds is whole-shot)
+	NumDetectors int
+}
+
+// LER returns the whole-shot logical error rate.
+func (a *WindowAblation) LER() float64 { return float64(a.WholeFails) / float64(a.Shots) }
+
+// WindowLER returns the logical error rate at Windows[i].
+func (a *WindowAblation) WindowLER(i int) float64 {
+	return float64(a.WindowFails[i]) / float64(a.Shots)
+}
+
+// AblateWindows samples spec's shot stream once (bit-identical to Evaluate's
+// randomness, via SampleChunks) and scores every shot with the whole-shot
+// union-find decoder and with a windowed decoder per requested window size.
+// Early-stop criteria in spec are ignored; the full Shots budget is sampled.
+func (e *Engine) AblateWindows(ctx context.Context, spec Spec, windows []int) (*WindowAblation, error) {
+	prior := spec.Prior
+	if prior == nil {
+		prior = spec.Circuit
+	}
+	fd, err := e.FrameDecoder(prior, decoder.KindUnionFind)
+	if err != nil {
+		return nil, err
+	}
+	wds := make([]*WindowedFrameDecoder, len(windows))
+	for i, w := range windows {
+		if wds[i], err = e.WindowedFrameDecoder(prior, w); err != nil {
+			return nil, fmt.Errorf("mc: window %d: %w", w, err)
+		}
+	}
+	ab := &WindowAblation{
+		Windows:      append([]int(nil), windows...),
+		WindowFails:  make([]int, len(windows)),
+		NumRounds:    fd.ent.graph.NumRounds,
+		NumDetectors: spec.Circuit.NumDetectors,
+	}
+	obsMask := observableMask(spec.Circuit.NumObs)
+	var perShot [64][]int
+	var actual [64]uint64
+	err = SampleChunks(ctx, spec, func(b sim.BatchResult) error {
+		for s := 0; s < b.Shots; s++ {
+			perShot[s] = perShot[s][:0]
+			actual[s] = 0
+		}
+		// Transpose detector words (bit per shot) into per-shot sorted
+		// syndromes; detectors are visited in ascending order so each
+		// shot's list is born sorted.
+		for d, word := range b.Detectors {
+			for ; word != 0; word &= word - 1 {
+				s := bits.TrailingZeros64(word)
+				perShot[s] = append(perShot[s], d)
+			}
+		}
+		for o, word := range b.Observables {
+			obit := uint64(1) << uint(o)
+			for ; word != 0; word &= word - 1 {
+				actual[bits.TrailingZeros64(word)] |= obit
+			}
+		}
+		for s := 0; s < b.Shots; s++ {
+			a := actual[s] & obsMask
+			if fd.ScoreFrame(perShot[s], a) {
+				ab.WholeFails++
+			}
+			for i := range wds {
+				if wds[i].ScoreFrame(perShot[s], a) {
+					ab.WindowFails[i]++
+				}
+			}
+			ab.Shots++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ab, nil
+}

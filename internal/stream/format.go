@@ -26,9 +26,19 @@
 //
 //	header:  magic "CQSTRM01" (8) | version u16 | flags u16 |
 //	         numDetectors u32 | numObs u32 | reserved u32 |
-//	         fingerprint [16] | seed u64 | shots u64 | crc32(header) u32
+//	         fingerprint [16] | seed u64 | shots u64 |
+//	         [v2+] rounds u32 | detPerRound u32 |
+//	         crc32(header) u32
 //	frame:   payloadLen u32 | obsMask u64 | packed detectors
 //	         ceil(numDetectors/8) bytes | crc32(payload) u32
+//
+// Version 2 appends the shot's round structure to the header: rounds is the
+// QEC rounds per shot (0 = unknown/roundless) and detPerRound the uniform
+// detectors-per-round count (0 = non-uniform or unknown; memory circuits
+// have thinner first and last detector rounds, so they record 0 and the
+// decoder derives the per-round split from its own round map). The reader
+// parses the version first and accepts v1 traces unchanged — their round
+// fields read as zero.
 //
 // Bit d of the packed detector bytes (byte d/8, bit d%8) is set when
 // detector d fired. payloadLen is constant for a stream (8 + frame bytes);
@@ -45,14 +55,29 @@ import (
 	"math/bits"
 )
 
-// Version is the trace format version this package writes.
-const Version = 1
+// Version is the trace format version this package writes. Readers accept
+// versions 1 and 2.
+const Version = 2
 
 const (
-	magic      = "CQSTRM01"
-	headerBody = 2 + 2 + 4 + 4 + 4 + 16 + 8 + 8 // after magic, before CRC
-	headerLen  = len(magic) + headerBody + 4
+	magic        = "CQSTRM01"
+	headerPre    = len(magic) + 2 + 2             // magic | version | flags
+	headerBodyV1 = 2 + 2 + 4 + 4 + 4 + 16 + 8 + 8 // after magic, before CRC
+	headerBodyV2 = headerBodyV1 + 4 + 4           // + rounds | detPerRound
+	headerLen    = len(magic) + headerBodyV2 + 4  // current-version size
 )
+
+// headerBodyFor returns the post-magic, pre-CRC body size of a version, or
+// 0 for unsupported versions.
+func headerBodyFor(version uint16) int {
+	switch version {
+	case 1:
+		return headerBodyV1
+	case 2:
+		return headerBodyV2
+	}
+	return 0
+}
 
 // Sentinel errors. Reader methods wrap these with positional detail; test
 // with errors.Is.
@@ -85,6 +110,14 @@ type Header struct {
 	// stream), in which case clean EOF at a frame boundary is a complete
 	// trace.
 	Shots uint64
+	// Rounds is the QEC rounds per shot; 0 means unknown (v1 traces, or
+	// roundless circuits). Windowed replay checks it against the decoder's
+	// round count before decoding.
+	Rounds int
+	// DetPerRound is the uniform detectors-per-round count, or 0 when the
+	// per-round detector count varies (memory circuits: the first and last
+	// detector rounds are thinner) or is unknown.
+	DetPerRound int
 }
 
 // FrameBytes returns the packed detector payload size for numDetectors.
@@ -99,6 +132,12 @@ func (h Header) validate() error {
 	}
 	if h.NumObs < 0 || h.NumObs > 64 {
 		return fmt.Errorf("%w: observable count %d outside [0, 64]", ErrFormat, h.NumObs)
+	}
+	if h.Rounds < 0 || h.DetPerRound < 0 {
+		return fmt.Errorf("%w: negative round geometry (rounds=%d, detPerRound=%d)", ErrFormat, h.Rounds, h.DetPerRound)
+	}
+	if h.Rounds > 0 && h.DetPerRound > 0 && h.Rounds*h.DetPerRound != h.NumDetectors {
+		return fmt.Errorf("%w: %d rounds x %d detectors/round != %d detectors", ErrFormat, h.Rounds, h.DetPerRound, h.NumDetectors)
 	}
 	return nil
 }
@@ -116,6 +155,8 @@ func appendHeader(buf []byte, h Header) []byte {
 	buf = append(buf, h.Fingerprint[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, h.Seed)
 	buf = binary.LittleEndian.AppendUint64(buf, h.Shots)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Rounds))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.DetPerRound))
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
 }
 
@@ -223,19 +264,23 @@ func (f *Frame) Syndrome(buf []int) []int {
 
 // Reader parses a trace from any io.Reader. Not safe for concurrent use.
 type Reader struct {
-	r      io.Reader
-	h      Header
-	fbytes int
-	buf    []byte  // scratch: one frame payload + crc
-	lenBuf [4]byte // scratch: frame length prefix (a field so Next stays allocation-free)
-	frames uint64
-	err    error // sticky terminal state (including io.EOF)
+	r       io.Reader
+	h       Header
+	version int
+	fbytes  int
+	buf     []byte  // scratch: one frame payload + crc
+	lenBuf  [4]byte // scratch: frame length prefix (a field so Next stays allocation-free)
+	frames  uint64
+	err     error // sticky terminal state (including io.EOF)
 }
 
-// NewReader reads and validates the trace header from r.
+// NewReader reads and validates the trace header from r, accepting both
+// the current version and v1 (whose round fields read as zero).
 func NewReader(r io.Reader) (*Reader, error) {
+	// Read magic + version + flags first; the rest of the header is
+	// version-dependent.
 	var hdr [headerLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:headerPre]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("%w: short header", ErrFormat)
 		}
@@ -244,13 +289,22 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(hdr[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
-	body := hdr[len(magic) : len(magic)+headerBody]
-	wantCRC := binary.LittleEndian.Uint32(hdr[len(magic)+headerBody:])
-	if crc32.Checksum(hdr[:len(magic)+headerBody], crcTable) != wantCRC {
-		return nil, fmt.Errorf("%w: header CRC mismatch", ErrFormat)
+	version := binary.LittleEndian.Uint16(hdr[len(magic):])
+	bodyLen := headerBodyFor(version)
+	if bodyLen == 0 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, version)
 	}
-	if v := binary.LittleEndian.Uint16(body[0:]); v != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	total := len(magic) + bodyLen + 4
+	if _, err := io.ReadFull(r, hdr[headerPre:total]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: short header", ErrFormat)
+		}
+		return nil, err
+	}
+	body := hdr[len(magic) : len(magic)+bodyLen]
+	wantCRC := binary.LittleEndian.Uint32(hdr[len(magic)+bodyLen:])
+	if crc32.Checksum(hdr[:len(magic)+bodyLen], crcTable) != wantCRC {
+		return nil, fmt.Errorf("%w: header CRC mismatch", ErrFormat)
 	}
 	h := Header{
 		NumDetectors: int(binary.LittleEndian.Uint32(body[4:])),
@@ -259,13 +313,20 @@ func NewReader(r io.Reader) (*Reader, error) {
 		Shots:        binary.LittleEndian.Uint64(body[40:]),
 	}
 	copy(h.Fingerprint[:], body[16:32])
+	if version >= 2 {
+		h.Rounds = int(binary.LittleEndian.Uint32(body[48:]))
+		h.DetPerRound = int(binary.LittleEndian.Uint32(body[52:]))
+	}
 	if err := h.validate(); err != nil {
 		return nil, err
 	}
-	tr := &Reader{r: r, h: h, fbytes: h.frameBytes()}
+	tr := &Reader{r: r, h: h, version: int(version), fbytes: h.frameBytes()}
 	tr.buf = make([]byte, 8+tr.fbytes+4)
 	return tr, nil
 }
+
+// Version returns the format version of the trace being read.
+func (r *Reader) Version() int { return r.version }
 
 // Header returns the parsed trace header.
 func (r *Reader) Header() Header { return r.h }

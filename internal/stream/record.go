@@ -32,6 +32,8 @@ func Record(ctx context.Context, spec mc.Spec, w io.Writer) (int, error) {
 		NumObs:       spec.Circuit.NumObs,
 		Seed:         spec.Seed,
 		Shots:        uint64(spec.Shots),
+		Rounds:       spec.Circuit.NumRounds,
+		DetPerRound:  uniformDetPerRound(spec.Circuit.DetectorRounds(), spec.Circuit.NumRounds),
 	}
 	tw, err := NewWriter(w, h)
 	if err != nil {
@@ -76,4 +78,25 @@ func Record(ctx context.Context, spec mc.Spec, w io.Writer) (int, error) {
 		return nil
 	})
 	return written, err
+}
+
+// uniformDetPerRound returns the common detectors-per-round count when
+// every round of [0, numRounds) owns the same number of detectors, else 0
+// (the header's "non-uniform" marker). Memory circuits are non-uniform:
+// their first and last detector rounds carry only memory-basis checks.
+func uniformDetPerRound(detRounds []int, numRounds int) int {
+	if numRounds <= 0 || len(detRounds) == 0 || len(detRounds)%numRounds != 0 {
+		return 0
+	}
+	per := len(detRounds) / numRounds
+	counts := make([]int, numRounds)
+	for _, r := range detRounds {
+		counts[r]++
+	}
+	for _, c := range counts {
+		if c != per {
+			return 0
+		}
+	}
+	return per
 }

@@ -66,6 +66,16 @@ func (c *Catalog) Resolve(h Header) (FrameScorer, error) {
 				h.NumDetectors, h.NumObs, dims.NumDetectors(), dims.NumObs())
 		}
 	}
+	// Round geometry: a windowed decoder (exposing NumRounds, as
+	// *mc.WindowedFrameDecoder does) splits each frame by round, so a trace
+	// recorded with a different rounds-per-shot would be mis-sliced. v1
+	// traces carry no round count (h.Rounds == 0) and are accepted — the
+	// decoder's own round map governs the split.
+	if rd, ok := s.(interface{ NumRounds() int }); ok && h.Rounds > 0 {
+		if rd.NumRounds() != h.Rounds {
+			return nil, fmt.Errorf("stream: trace rounds/shot %d does not match decoder rounds %d", h.Rounds, rd.NumRounds())
+		}
+	}
 	return s, nil
 }
 

@@ -12,12 +12,19 @@
 #     noise) plus the allocation budget: batch-warm allocs/op must not
 #     exceed sequential-warm allocs/op.
 #
-# It then runs the stream replay suite into BENCH_stream.json with its own
-# guard: the stream.Replay worker pipeline must not regress below the
-# single-threaded read+decode baseline — >=0.95x on multi-core runners
-# (the pipeline should win there; 0.95 absorbs scheduler noise) and
-# >=0.6x on a single core, where the per-frame channel hop is pure
-# overhead by construction.
+# It then runs the stream replay suite into BENCH_stream.json with two
+# guards of its own:
+#
+#   - the stream.Replay worker pipeline must not regress below the
+#     single-threaded read+decode baseline — >=0.95x on multi-core runners
+#     (the pipeline should win there; 0.95 absorbs scheduler noise) and
+#     >=0.6x on a single core, where the per-frame channel hop is pure
+#     overhead by construction;
+#   - the sliding-window decoder's per-round p99 ingest latency
+#     (BenchmarkStreamReplay/windowed, round_p99_ns) must stay under
+#     100µs — the bounded-latency budget of the streaming decode path.
+#     Measured values sit around 5µs; the 20x headroom absorbs slow CI
+#     runners without letting an O(rounds) regression through.
 #
 # CI runs this on every push; the committed BENCH_mc.json/BENCH_stream.json
 # are the trajectory points for the checked-out commit.
@@ -106,6 +113,7 @@ echo "$out" | awk -v benchtime="$benchtime" -v cores="$cores" '
     for (i = 4; i < NF; i++) {
         if ($(i+1) == "frames/s") fps[name] = $i
         if ($(i+1) == "allocs/op") allocs[name] = $i
+        if ($(i+1) == "round_p99_ns") p99[name] = $i
     }
     order[n++] = name
 }
@@ -140,6 +148,19 @@ END {
         }
     } else {
         printf "FAIL: StreamReplay results missing from benchmark output\n" > "/dev/stderr"
+        fail = 1
+    }
+    wp99 = p99["windowed"]
+    budget = 100000
+    if (wp99 > 0) {
+        printf ",\n  \"round_p99_ns\": %s", wp99
+        printf ",\n  \"round_p99_budget_ns\": %d", budget
+        if (wp99 + 0 > budget) {
+            printf "FAIL: windowed per-round p99 %s ns exceeds the %d ns budget\n", wp99, budget > "/dev/stderr"
+            fail = 1
+        }
+    } else {
+        printf "FAIL: windowed round_p99_ns missing from benchmark output\n" > "/dev/stderr"
         fail = 1
     }
     printf "\n}\n"
