@@ -7,6 +7,7 @@ package caliqec
 
 import (
 	"bytes"
+	"caliqec/internal/analysis"
 	"caliqec/internal/code"
 	"caliqec/internal/decoder"
 	"caliqec/internal/deform"
@@ -541,4 +542,23 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	b.Run("discard", func(b *testing.B) { warm(b, obs.Discard) })
 	b.Run("recording", func(b *testing.B) { warm(b, obs.NewRegistry(nil)) })
+}
+
+// BenchmarkLintRepo times one full caliqec-lint pass — load, type-check and
+// all analysis rules (CFG construction and dataflow included) over the whole
+// module. One op is exactly what the CI lint step pays; the budget in
+// scripts/bench_mc.sh keeps the flow-sensitive rule pack from turning the
+// lint gate into the slowest job in the pipeline. A nonzero finding count
+// fails the benchmark, so the perf gate doubles as a repo-clean check.
+func BenchmarkLintRepo(b *testing.B) {
+	rules := analysis.AllRules()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.Load(".", "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := analysis.Run(pkgs, rules); len(diags) != 0 {
+			b.Fatalf("lint found %d violation(s), first: %s", len(diags), diags[0])
+		}
+	}
 }

@@ -3,12 +3,23 @@
 //
 //	go run ./cmd/caliqec-lint ./...
 //
-// It exits 1 if any rule fires. Violations are suppressed, one line at a
-// time and with a mandatory reason, via
+// With -json it prints a machine-readable report (findings with
+// file/line/rule/message/waived plus summary counts) instead of the
+// human-readable lines; waived findings appear only in the JSON output.
+//
+// Exit codes form a contract CI can rely on:
+//
+//	0  clean (no findings, or every finding waived)
+//	1  at least one unwaived finding
+//	2  the packages could not be loaded (bad pattern, parse failure)
+//
+// Violations are suppressed, one line at a time and with a mandatory
+// reason, via
 //
 //	//lint:allow <rule>[,<rule>...] <reason>
 //
-// See DESIGN.md's "Enforced invariants" for what each rule protects.
+// See DESIGN.md's "Enforced invariants" (§8) and "Flow-sensitive analysis"
+// (§13) for what each rule protects.
 package main
 
 import (
@@ -22,8 +33,9 @@ import (
 
 func main() {
 	listRules := flag.Bool("rules", false, "list the rules and exit")
+	jsonOut := flag.Bool("json", false, "emit a JSON report (findings incl. waived, plus counts) on stdout")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: caliqec-lint [-rules] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: caliqec-lint [-rules] [-json] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,7 +43,7 @@ func main() {
 	rules := analysis.AllRules()
 	if *listRules {
 		for _, r := range rules {
-			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+			fmt.Printf("%-14s %s\n", r.Name, r.Doc)
 		}
 		return
 	}
@@ -48,21 +60,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := analysis.Run(pkgs, rules)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			pos.Filename = rel
+	findings := analysis.RunDetailed(pkgs, rules)
+	report := analysis.NewReport(findings, cwd)
+
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Message)
+	} else {
+		for _, f := range findings {
+			if f.Waived {
+				continue
+			}
+			pos := f.Pos
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s: %s: %s\n", pos, f.Rule, f.Message)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "caliqec-lint: %d violation(s)\n", len(diags))
+	if report.Violations > 0 {
+		fmt.Fprintf(os.Stderr, "caliqec-lint: %d violation(s)\n", report.Violations)
 		os.Exit(1)
 	}
 }
 
+// fatal reports a load-level failure and exits 2, distinguishing "could not
+// analyze" from "analyzed and found violations" (exit 1) for CI.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "caliqec-lint:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

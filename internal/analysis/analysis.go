@@ -25,6 +25,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"sort"
 )
@@ -54,6 +55,21 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
+// CFG returns the control-flow graph for fn (*ast.FuncDecl or *ast.FuncLit),
+// building it on first use and caching it on the package so the whole rule
+// pack shares one graph per function. Returns nil for bodyless declarations.
+func (p *Pass) CFG(fn ast.Node) *CFG {
+	if p.Pkg.cfgs == nil {
+		p.Pkg.cfgs = map[ast.Node]*CFG{}
+	}
+	g, ok := p.Pkg.cfgs[fn]
+	if !ok {
+		g = BuildCFG(fn)
+		p.Pkg.cfgs[fn] = g
+	}
+	return g
+}
+
 // Reportf records a diagnostic for the running rule at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
@@ -63,11 +79,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Finding is one diagnostic plus its suppression status. RunDetailed
+// returns waived findings too so reporting layers (caliqec-lint -json, CI
+// artifacts) can show which contracts were consciously waived where; Run
+// drops them for callers that only care about violations.
+type Finding struct {
+	Diagnostic
+	Waived bool
+}
+
 // Run applies every rule to every package and returns the surviving
 // diagnostics: suppressed ones are dropped, and malformed or unknown
 // suppression comments are reported under the pseudo-rule "lint". The
 // result is sorted by file, line, column, rule for stable output.
 func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range RunDetailed(pkgs, rules) {
+		if !f.Waived {
+			out = append(out, f.Diagnostic)
+		}
+	}
+	return out
+}
+
+// RunDetailed is Run keeping the waived diagnostics, each marked with
+// Waived=true instead of being dropped.
+func RunDetailed(pkgs []*Package, rules []*Rule) []Finding {
 	// A waiver is "unknown" only if no rule in the whole registry carries
 	// that name — a subset run (focused tests, single-rule invocations)
 	// must tolerate waivers aimed at rules it is not applying, while still
@@ -79,19 +116,18 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 	for _, r := range rules {
 		known[r.Name] = true
 	}
-	var out []Diagnostic
+	var out []Finding
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
 		for _, r := range rules {
 			r.Run(&Pass{Pkg: pkg, rule: r, diags: &diags})
 		}
 		allows, allowDiags := collectAllows(pkg, known)
-		out = append(out, allowDiags...)
+		for _, d := range allowDiags {
+			out = append(out, Finding{Diagnostic: d})
+		}
 		for _, d := range diags {
-			if allows.covers(d) {
-				continue
-			}
-			out = append(out, d)
+			out = append(out, Finding{Diagnostic: d, Waived: allows.covers(d)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,317 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"caliqec/internal/analysis"
+)
+
+// buildCFG parses a single function declaration and builds its CFG.
+func buildCFG(t *testing.T, fnSrc string) (*analysis.CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", "package p\n\n"+fnSrc, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			g := analysis.BuildCFG(fd)
+			if g == nil {
+				t.Fatal("BuildCFG returned nil")
+			}
+			return g, fset
+		}
+	}
+	t.Fatal("no function in fixture")
+	return nil, nil
+}
+
+// TestCFGGolden pins exact block/edge structure for the syntax the dataflow
+// rules depend on. The dumps are the specification of the builder: a change
+// that reshapes a graph must update the golden text deliberately.
+func TestCFGGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"straight line",
+			`func f() {
+	x := 1
+	x++
+	return
+}`,
+			`b0 entry: [x := 1; x++; return] -> b1
+b1 exit:
+`,
+		},
+		{
+			"if else join",
+			`func f(b bool) int {
+	if b {
+		return 1
+	} else {
+		x := 2
+		_ = x
+	}
+	return 0
+}`,
+			`b0 entry: [b] -> b1 b2
+b1 if.then: [return 1] -> b4
+b2 if.else: [x := 2; _ = x] -> b3
+b3 if.done: [return 0] -> b4
+b4 exit:
+`,
+		},
+		{
+			"select with default",
+			`func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}`,
+			`b0 entry: -> b2 b3
+b1 select.done: -> b4
+b2 select.case: [v := <-ch; return v] -> b4
+b3 select.default: [return 0] -> b4
+b4 exit:
+`,
+		},
+		{
+			"labeled break and continue",
+			`func f() {
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			if i == 1 {
+				continue outer
+			}
+			break outer
+		}
+	}
+}`,
+			`b0 entry: -> b1
+b1 label.outer: [i := 0] -> b2
+b2 for.head: [i < 3] -> b3 b4
+b3 for.done: -> b11
+b4 for.body: -> b6
+b5 for.post: [i++] -> b2
+b6 for.head: -> b8
+b7 for.done: -> b5
+b8 for.body: [i == 1] -> b9 b10
+b9 if.then: -> b5
+b10 if.done: -> b3
+b11 exit:
+`,
+		},
+		{
+			"goto forms a loop",
+			`func f(n int) {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+}`,
+			`b0 entry: -> b1
+b1 label.retry: [n--; n > 0] -> b2 b3
+b2 if.then: -> b1
+b3 if.done: -> b4
+b4 exit:
+`,
+		},
+		{
+			"early return inside range",
+			`func f(xs []int) int {
+	for _, x := range xs {
+		if x < 0 {
+			return x
+		}
+	}
+	return 0
+}`,
+			`b0 entry: [xs] -> b1
+b1 range.head: -> b2 b3
+b2 range.done: [return 0] -> b6
+b3 range.body: [_; x; x < 0] -> b4 b5
+b4 if.then: [return x] -> b6
+b5 if.done: -> b1
+b6 exit:
+`,
+		},
+		{
+			"panic-only exit",
+			`func f() {
+	panic("always")
+}`,
+			`b0 entry: [panic("always")] -> b1
+b1 exit:
+`,
+		},
+		{
+			"panic in one branch",
+			`func f(b bool) {
+	if b {
+		panic("bad")
+	}
+}`,
+			`b0 entry: [b] -> b1 b2
+b1 if.then: [panic("bad")] -> b3
+b2 if.done: -> b3
+b3 exit:
+`,
+		},
+		{
+			"switch without default falls through",
+			`func f(n int) {
+	switch n {
+	case 1:
+		n++
+	case 2:
+		n--
+	}
+}`,
+			`b0 entry: [n] -> b2 b3 b1
+b1 switch.done: -> b4
+b2 switch.case: [1; n++] -> b1
+b3 switch.case: [2; n--] -> b1
+b4 exit:
+`,
+		},
+		{
+			"switch fallthrough chains cases",
+			`func f(n int) {
+	switch n {
+	case 1:
+		n++
+		fallthrough
+	case 2:
+		n--
+	default:
+		n = 0
+	}
+}`,
+			`b0 entry: [n] -> b2 b3 b4
+b1 switch.done: -> b5
+b2 switch.case: [1; n++] -> b3
+b3 switch.case: [2; n--] -> b1
+b4 switch.default: [n = 0] -> b1
+b5 exit:
+`,
+		},
+		{
+			"dead code after return is unreachable",
+			`func f() int {
+	return 1
+	x := 2
+	_ = x
+	return x
+}`,
+			`b0 entry: [return 1] -> b2
+b1 unreachable: [x := 2; _ = x; return x] -> b2
+b2 exit:
+`,
+		},
+		{
+			"for without condition loops forever",
+			`func f() {
+	for {
+		g()
+	}
+}`,
+			`b0 entry: -> b1
+b1 for.head: -> b3
+b2 for.done: -> b4
+b3 for.body: [g()] -> b1
+b4 exit:
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, fset := buildCFG(t, tc.src)
+			got := g.Dump(fset)
+			if got != tc.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGInLoop pins cycle membership, including the goto-formed loop the
+// syntactic rules could never see.
+func TestCFGInLoop(t *testing.T) {
+	g, _ := buildCFG(t, `func f(n int) {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+}`)
+	inLoop := 0
+	for _, b := range g.Blocks {
+		if g.InLoop(b) {
+			inLoop++
+		}
+	}
+	// label.retry and if.then cycle through each other; entry, if.done and
+	// exit do not.
+	if inLoop != 2 {
+		t.Errorf("got %d blocks in a loop, want 2\n%s", inLoop, g.Dump(token.NewFileSet()))
+	}
+	if lo, hi, ok := g.LoopSpan(g.Blocks[1]); !ok || lo >= hi {
+		t.Errorf("LoopSpan(label.retry) = (%v, %v, %v), want a non-empty span", lo, hi, ok)
+	}
+	if _, _, ok := g.LoopSpan(g.Entry); ok {
+		t.Error("LoopSpan(entry) reported a span for a non-loop block")
+	}
+}
+
+// TestForwardDataflow exercises the solver directly with a toy "lock held"
+// fact over a branchy function: one arm releases, the other leaks.
+func TestForwardDataflow(t *testing.T) {
+	g, _ := buildCFG(t, `func f(b bool) {
+	lock()
+	if b {
+		unlock()
+		return
+	}
+}`)
+	const held = 0
+	transfer := func(n ast.Node, s analysis.Facts) analysis.Facts {
+		call, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return s
+		}
+		if c, ok := call.X.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "lock":
+					return s.With(held)
+				case "unlock":
+					return s.Without(held)
+				}
+			}
+		}
+		return s
+	}
+	r := analysis.Forward(g, 0, transfer)
+	if !r.MayExit(held) {
+		t.Error("MayExit(held) = false, want true (the fall-through path leaks)")
+	}
+	if r.MustExit(held) {
+		t.Error("MustExit(held) = true, want false (the if arm releases)")
+	}
+	states := r.ExitStates()
+	if len(states) != 2 {
+		t.Errorf("got %d exit states, want 2 (released and leaked): %v", len(states), states)
+	}
+}

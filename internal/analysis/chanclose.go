@@ -10,22 +10,27 @@ import (
 // (DESIGN.md, internal/stream): every pipeline channel has a single owner
 // whose exit path closes it exactly once; a close anywhere else is a latent
 // "send on closed channel" panic that only fires under rare interleavings.
-// Three shapes are flagged:
+// Two kinds of violation are flagged:
 //
 //   - close of a channel the function received as a parameter: the callee
-//     cannot know whether the caller (or other senders) is done with it;
-//   - close of a loop-invariant channel inside a loop body: the second
-//     iteration panics (closing channels that the loop itself declares, or
-//     ranges over, stays legal);
-//   - a send on a channel after a close of the same channel earlier in the
-//     same block (defer close is exempt: it runs at function exit).
+//     cannot know whether the caller (or other senders) is done with it
+//     (structural check, function literals inherit their enclosing
+//     functions' parameters);
+//   - any path on which a channel is used after it was closed: a second
+//     close, or a send on the closed channel. This is forward dataflow on
+//     the function's CFG, so it covers the shapes the old per-block walk
+//     missed — `if done { close(ch) }; ch <- v`, close before an early
+//     return, and the loop-invariant close whose second iteration
+//     double-closes. Rebinding the variable (`ch = make(...)`, a fresh `:=`,
+//     or a per-iteration range binding) starts a new channel and clears the
+//     fact; `defer close(ch)` runs at function exit and sets no fact.
 //
 // Intentional transfers of close responsibility carry a
 // //lint:allow chanclose waiver naming the ownership handoff.
 func ChanClose() *Rule {
 	return &Rule{
 		Name: "chanclose",
-		Doc:  "channels are closed only by their owner: no close of channel parameters, no loop-invariant close inside loops, no send after close",
+		Doc:  "channels are closed only by their owner: no close of channel parameters, no close/send on a path where the channel is already closed",
 		Run: func(p *Pass) {
 			for _, f := range p.Pkg.Files {
 				for _, decl := range f.Decls {
@@ -38,18 +43,19 @@ func ChanClose() *Rule {
 					w.walkBody(fd.Body)
 				}
 			}
+			eachFuncBody(p, func(fn ast.Node, ft *ast.FuncType, body *ast.BlockStmt) {
+				checkUseAfterClose(p, fn)
+			})
 		},
 	}
 }
 
-// chancloseWalker carries the per-function state: the channel-typed
-// parameter objects of the current function and its enclosing functions,
-// and the loop statements enclosing the node being visited (reset at every
-// function-literal boundary — a goroutine body is its own ownership scope).
+// chancloseWalker carries the parameter-close check's state: the
+// channel-typed parameter objects of the current function and its enclosing
+// functions (a literal must not close a channel its parent received either).
 type chancloseWalker struct {
 	p      *Pass
 	params map[types.Object]bool
-	loops  []ast.Node
 }
 
 // addParams records fn's channel-typed parameter objects.
@@ -70,10 +76,30 @@ func (w *chancloseWalker) addParams(fn *ast.FuncType) {
 	}
 }
 
+// walkBody flags closes of parameter channels, descending into function
+// literals with their parameter set widened by the literal's own params.
+func (w *chancloseWalker) walkBody(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &chancloseWalker{p: w.p, params: w.params}
+			inner.addParams(n.Type)
+			inner.walkBody(n.Body)
+			return false
+		case *ast.CallExpr:
+			if obj, _ := closedChan(w.p, n); obj != nil && w.params[obj] {
+				w.p.Reportf(n.Pos(), "close of channel parameter %s: the callee does not own it, so other senders may still be live", obj.Name())
+			}
+			return true
+		}
+		return true
+	})
+}
+
 // closedChan returns the object of the channel identifier in a builtin
 // close(ch) call, or nil when n is not one (or closes a non-identifier,
 // which the rule leaves to the owner's judgment).
-func (w *chancloseWalker) closedChan(n ast.Node) (types.Object, *ast.CallExpr) {
+func closedChan(p *Pass, n ast.Node) (types.Object, *ast.CallExpr) {
 	call, ok := n.(*ast.CallExpr)
 	if !ok || len(call.Args) != 1 {
 		return nil, nil
@@ -82,108 +108,131 @@ func (w *chancloseWalker) closedChan(n ast.Node) (types.Object, *ast.CallExpr) {
 	if !ok || fn.Name != "close" {
 		return nil, nil
 	}
-	if b, ok := w.p.Pkg.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "close" {
+	if b, ok := p.Pkg.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "close" {
 		return nil, nil // shadowed: not the builtin
 	}
 	id, ok := call.Args[0].(*ast.Ident)
 	if !ok {
 		return nil, nil
 	}
-	return w.p.Pkg.Info.Uses[id], call
+	return p.Pkg.Info.Uses[id], call
 }
 
-// walkBody visits every node of a statement tree, maintaining the loop
-// stack and spawning fresh walkers at function-literal boundaries.
-func (w *chancloseWalker) walkBody(body ast.Node) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			// A new ownership scope: enclosing params stay visible (the
-			// literal still must not close them), the loop stack does not
-			// (the literal body runs as its own goroutine or call).
-			inner := &chancloseWalker{p: w.p, params: w.params}
-			inner.addParams(n.Type)
-			inner.walkBody(n.Body)
-			return false
-		case *ast.ForStmt, *ast.RangeStmt:
-			w.loops = append(w.loops, n)
-			if fs, ok := n.(*ast.ForStmt); ok {
-				w.walkLoopParts(fs.Init, fs.Cond, fs.Post, fs.Body)
-			} else {
-				rs := n.(*ast.RangeStmt)
-				w.walkLoopParts(rs.Key, rs.Value, rs.X, rs.Body)
-			}
-			w.loops = w.loops[:len(w.loops)-1]
-			return false
-		case *ast.BlockStmt:
-			w.checkSendAfterClose(n)
-			return true
-		case *ast.CallExpr:
-			w.checkClose(n)
-			return true
-		}
-		return true
-	})
-}
-
-// walkLoopParts visits a loop's sub-nodes under the current loop stack.
-func (w *chancloseWalker) walkLoopParts(parts ...ast.Node) {
-	for _, part := range parts {
-		if part != nil {
-			w.walkBody(part)
-		}
-	}
-}
-
-// checkClose applies the parameter-close and loop-invariant-close checks to
-// one close(ch) call.
-func (w *chancloseWalker) checkClose(call *ast.CallExpr) {
-	obj, _ := w.closedChan(call)
-	if obj == nil {
+// checkUseAfterClose runs the may-closed dataflow over one function body and
+// reports closes and sends reached by a state in which the channel is
+// already closed.
+func checkUseAfterClose(p *Pass, fn ast.Node) {
+	g := p.CFG(fn)
+	if g == nil {
 		return
 	}
-	if w.params[obj] {
-		w.p.Reportf(call.Pos(), "close of channel parameter %s: the callee does not own it, so other senders may still be live", obj.Name())
-		return
-	}
-	if len(w.loops) == 0 {
-		return
-	}
-	// Closing a channel born inside any enclosing loop (its range variable,
-	// or a declaration in its body) is per-iteration ownership and fine;
-	// closing one declared outside every enclosing loop double-closes on
-	// the second iteration.
-	for _, loop := range w.loops {
-		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
-			return
-		}
-	}
-	w.p.Reportf(call.Pos(), "close of %s inside a loop but declared outside it: the second iteration closes a closed channel", obj.Name())
-}
 
-// checkSendAfterClose flags a send statement that follows a close of the
-// same channel in the same statement list. Only direct statements of the
-// block participate: branches and nested blocks have their own flow, and a
-// defer close runs at function exit, after every send.
-func (w *chancloseWalker) checkSendAfterClose(block *ast.BlockStmt) {
-	var closed map[types.Object]bool
-	for _, stmt := range block.List {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			if obj, _ := w.closedChan(s.X); obj != nil {
-				if closed == nil {
-					closed = map[types.Object]bool{}
-				}
-				closed[obj] = true
-			}
-		case *ast.SendStmt:
-			id, ok := s.Chan.(*ast.Ident)
-			if !ok {
+	// Track every object closed by a non-deferred close in this function.
+	closeFact := map[types.Object]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
 				continue
 			}
-			if obj := w.p.Pkg.Info.Uses[id]; obj != nil && closed[obj] {
-				w.p.Reportf(s.Pos(), "send on %s after it was closed earlier in this block: this panics at run time", id.Name)
-			}
+			inspectShallow(n, func(m ast.Node) bool {
+				if obj, _ := closedChan(p, m); obj != nil {
+					if _, have := closeFact[obj]; !have {
+						closeFact[obj] = len(closeFact)
+					}
+				}
+				return true
+			})
 		}
 	}
+	if len(closeFact) == 0 || len(closeFact) > 64 {
+		return
+	}
+
+	// rebinds clears the facts of channel variables this node rebinds: an
+	// assignment or declaration with the variable on the left, or a range
+	// statement's per-iteration key/value binding (those idents are recorded
+	// as standalone block nodes with a Defs entry).
+	rebinds := func(n ast.Node, s Facts) Facts {
+		clear := func(id *ast.Ident) {
+			if obj := p.Pkg.Info.Defs[id]; obj != nil {
+				if f, have := closeFact[obj]; have {
+					s = s.Without(f)
+				}
+			}
+			if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				if f, have := closeFact[obj]; have {
+					s = s.Without(f)
+				}
+			}
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Defs[n]; obj != nil {
+				if f, have := closeFact[obj]; have {
+					s = s.Without(f)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					clear(id)
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							clear(id)
+						}
+					}
+				}
+			}
+		}
+		return s
+	}
+
+	transfer := func(n ast.Node, s Facts) Facts {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return s // defer close runs at function exit, after every use
+		}
+		s = rebinds(n, s)
+		inspectShallow(n, func(m ast.Node) bool {
+			if obj, _ := closedChan(p, m); obj != nil {
+				s = s.With(closeFact[obj])
+			}
+			return true
+		})
+		return s
+	}
+
+	r := Forward(g, 0, transfer)
+	reported := map[ast.Node]bool{}
+	r.Walk(func(n ast.Node, before Facts) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return
+		}
+		before = rebinds(n, before)
+		inspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if obj, call := closedChan(p, m); obj != nil && before.Has(closeFact[obj]) && !reported[call] {
+					reported[call] = true
+					p.Reportf(call.Pos(), "close of %s on a path where it is already closed: closing a closed channel panics (second loop iteration included)", obj.Name())
+				}
+			case *ast.SendStmt:
+				id, ok := m.Chan.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := p.Pkg.Info.Uses[id]; obj != nil && !reported[m] {
+					if f, have := closeFact[obj]; have && before.Has(f) {
+						reported[m] = true
+						p.Reportf(m.Pos(), "send on %s on a path where it was closed: this panics at run time", id.Name)
+					}
+				}
+			}
+			return true
+		})
+	})
 }

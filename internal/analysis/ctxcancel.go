@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxCancel enforces the context package's documented obligation: the cancel
+// function returned by context.WithCancel/WithTimeout/WithDeadline (and the
+// *Cause variants) must be called on every path, or the derived context and
+// its timer leak until the parent is cancelled — in a server accept loop
+// that is an unbounded leak. Contract (DESIGN.md §13): cancel is called or
+// deferred on all paths out of the function, or visibly handed off.
+//
+// On the function's CFG, the assignment site sets a per-site "pending" fact;
+// any subsequent use of the cancel variable clears it — a direct call, a
+// defer (deferred calls run on panic paths too), passing it to a function,
+// returning it, storing it in a struct, or capturing it in a closure all
+// transfer the responsibility somewhere the analysis can no longer see, and
+// flow-blind uses are exactly what //lint:allow waivers are for when they
+// lie. Discarding the cancel func with _ is reported outright. The
+// diagnostic anchors at the With* call, so one waiver covers all paths.
+func CtxCancel() *Rule {
+	return &Rule{
+		Name: "ctxcancel",
+		Doc:  "the cancel func from context.WithCancel/WithTimeout/WithDeadline must be called or deferred on all paths",
+		Run: func(p *Pass) {
+			eachFuncBody(p, func(fn ast.Node, ft *ast.FuncType, body *ast.BlockStmt) {
+				checkCtxCancel(p, fn)
+			})
+		},
+	}
+}
+
+// cancelFuncs are the context constructors whose last result is a CancelFunc.
+var cancelFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+type cancelSite struct {
+	assign *ast.AssignStmt
+	call   *ast.CallExpr
+	name   string // context constructor name
+	id     *ast.Ident
+	fact   int
+}
+
+// cancelAssign matches `ctx, cancel := context.WithX(...)` and returns the
+// constructor call, its name and the identifier receiving the cancel func.
+func cancelAssign(p *Pass, as *ast.AssignStmt) (*ast.CallExpr, string, *ast.Ident) {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return nil, "", nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, "", nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !cancelFuncs[sel.Sel.Name] || pkgRef(p, sel.X) != "context" {
+		return nil, "", nil
+	}
+	id, _ := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	return call, sel.Sel.Name, id
+}
+
+func checkCtxCancel(p *Pass, fn ast.Node) {
+	g := p.CFG(fn)
+	if g == nil {
+		return
+	}
+
+	var sites []*cancelSite
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			call, name, id := cancelAssign(p, as)
+			if call == nil {
+				continue
+			}
+			if id == nil || id.Name == "_" {
+				p.Reportf(call.Pos(), "cancel func from context.%s discarded with _: the derived context can never be released", name)
+				continue
+			}
+			sites = append(sites, &cancelSite{assign: as, call: call, name: name, id: id, fact: len(sites)})
+		}
+	}
+	if len(sites) == 0 || len(sites) > 64 {
+		return
+	}
+
+	transfer := func(n ast.Node, s Facts) Facts {
+		for _, site := range sites {
+			if n == site.assign {
+				// (Re)binding the cancel variable starts a fresh obligation.
+				s = s.With(site.fact)
+				continue
+			}
+			obj := spanObject(p, site.id)
+			if obj == nil {
+				continue
+			}
+			// Any use — call, defer, argument, return value, assignment,
+			// closure capture — discharges the site. The walk is deep on
+			// purpose: a cancel captured by a spawned closure has escaped.
+			used := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return !used
+			})
+			if used {
+				s = s.Without(site.fact)
+			}
+		}
+		return s
+	}
+
+	r := Forward(g, 0, transfer)
+	for _, site := range sites {
+		if r.MayExit(site.fact) {
+			p.Reportf(site.call.Pos(),
+				"cancel func %s from context.%s is not called on every path: defer %s() right after the assignment, or call it before each return",
+				site.id.Name, site.name, site.id.Name)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import "go/ast"
+
+// This file is the forward dataflow solver the flow-sensitive rules share.
+//
+// The abstraction is deliberately path-shaped rather than the classic single
+// bitvector per block: the state at a program point is a *set* of Facts
+// values, one per distinguishable path class. Meet is set union, so the
+// solver natively answers both quantifiers the rules need:
+//
+//   - "may":  some path reaches here with fact f        (any state has f)
+//   - "must": every path reaches here with fact f       (all states have f)
+//
+// Keeping fact *combinations* intact matters: lockbalance must distinguish
+// the path that locked and deferred from the path that did neither — a plain
+// may-union of {held} and {covered} would conflate them into a false
+// positive, and a must-intersection into a false negative.
+//
+// Termination: Facts is a finite set (≤ 64 bits, and rules use a handful),
+// states only accumulate, and when a block's state set exceeds maxFlowStates
+// it is widened to the single union-of-all state, which is conservative for
+// the may-queries the rules report on.
+
+// Facts is a bitset of up to 64 rule-defined boolean facts along one path.
+type Facts uint64
+
+// Has reports whether fact i is set.
+func (f Facts) Has(i int) bool { return f&(1<<uint(i)) != 0 }
+
+// With returns f with fact i set.
+func (f Facts) With(i int) Facts { return f | 1<<uint(i) }
+
+// Without returns f with fact i cleared.
+func (f Facts) Without(i int) Facts { return f &^ (1 << uint(i)) }
+
+// maxFlowStates caps the distinct path states tracked per block; beyond it
+// the set widens to its union. Real functions sit far below the cap.
+const maxFlowStates = 64
+
+// FlowResult holds the solved per-block entry states.
+type FlowResult struct {
+	g        *CFG
+	transfer func(ast.Node, Facts) Facts
+	in       map[*Block][]Facts
+}
+
+// Forward runs the transfer function to fixpoint over g, starting from init
+// at the entry block. transfer maps the state before an atomic CFG node to
+// the state after it; it must be deterministic and must not descend into
+// function literals (their bodies have their own CFGs — use inspectShallow).
+func Forward(g *CFG, init Facts, transfer func(n ast.Node, s Facts) Facts) *FlowResult {
+	r := &FlowResult{g: g, transfer: transfer, in: map[*Block][]Facts{}}
+	r.in[g.Entry] = []Facts{init}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		outs := make([]Facts, 0, len(r.in[b]))
+		for _, s := range r.in[b] {
+			for _, n := range b.Nodes {
+				s = transfer(n, s)
+			}
+			outs = addState(outs, s)
+		}
+		for _, succ := range b.Succs {
+			changed := false
+			for _, s := range outs {
+				next := addState(r.in[succ], s)
+				if len(next) != len(r.in[succ]) {
+					r.in[succ] = next
+					changed = true
+				}
+			}
+			if len(r.in[succ]) > maxFlowStates {
+				var union Facts
+				for _, s := range r.in[succ] {
+					union |= s
+				}
+				r.in[succ] = []Facts{union}
+				changed = true
+			}
+			if changed && !queued[succ] {
+				work = append(work, succ)
+				queued[succ] = true
+			}
+		}
+	}
+	return r
+}
+
+// addState appends s if not already present.
+func addState(set []Facts, s Facts) []Facts {
+	for _, have := range set {
+		if have == s {
+			return set
+		}
+	}
+	return append(set, s)
+}
+
+// ExitStates returns the distinct path states reaching the function exit —
+// returns, falls-off-the-end, explicit panics and process terminators alike.
+// Empty means the exit is unreachable (the function never returns).
+func (r *FlowResult) ExitStates() []Facts { return r.in[r.g.Exit] }
+
+// MayExit reports whether some path leaves the function with fact i set.
+func (r *FlowResult) MayExit(i int) bool {
+	for _, s := range r.ExitStates() {
+		if s.Has(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// MustExit reports whether every path leaving the function has fact i set.
+// Vacuously false when the exit is unreachable.
+func (r *FlowResult) MustExit(i int) bool {
+	states := r.ExitStates()
+	for _, s := range states {
+		if !s.Has(i) {
+			return false
+		}
+	}
+	return len(states) > 0
+}
+
+// Walk replays the transfer function over every reachable block, invoking
+// visit with the state in force immediately before each node, once per
+// distinct entry state of the node's block. Rules use it to report at the
+// offending node ("send after close", "Add after Wait") with path context.
+func (r *FlowResult) Walk(visit func(n ast.Node, before Facts)) {
+	for _, b := range r.g.Blocks {
+		for _, s := range r.in[b] {
+			for _, n := range b.Nodes {
+				visit(n, s)
+				s = r.transfer(n, s)
+			}
+		}
+	}
+}
+
+// inspectShallow walks n without descending into function literals: a
+// closure's body executes under its own CFG (possibly on another goroutine),
+// so its statements are invisible to the enclosing function's dataflow.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// eachFuncBody invokes f for every function body in the package: top-level
+// declarations and every (nested) function literal, each of which is its own
+// CFG scope.
+func eachFuncBody(p *Pass, f func(fn ast.Node, ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					f(n, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				f(n, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+}

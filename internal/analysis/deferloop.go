@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DeferLoop flags resource-releasing defers registered inside a loop body.
+// Defers run at function exit, not at iteration end, so a per-iteration
+// `defer f.Close()` holds every file of the loop open until the function
+// returns — a quiet descriptor/lock/span leak proportional to iteration
+// count. Contract (DESIGN.md §13): per-iteration resources are released
+// per-iteration, either explicitly or by hoisting the body into a function.
+//
+// "Inside a loop" is CFG cycle membership (goto loops included). "Resource-
+// releasing" is a vocabulary check on the deferred call: the release methods
+// the repo's resource types share (Close/Unlock/RUnlock/Done/End/Stop/
+// Release/Shutdown), a context.CancelFunc value, or a closure invoking one
+// of those. A defer inside a function literal that merely *sits* in a loop
+// is not flagged — it runs at the literal's exit, which is per-invocation.
+// Intentional accumulation (N small cleanups bounded by a small N) carries a
+// //lint:allow deferloop waiver.
+func DeferLoop() *Rule {
+	return &Rule{
+		Name: "deferloop",
+		Doc:  "no resource-releasing defer inside a loop body: it runs at function exit, so iterations pile up",
+		Run: func(p *Pass) {
+			eachFuncBody(p, func(fn ast.Node, ft *ast.FuncType, body *ast.BlockStmt) {
+				g := p.CFG(fn)
+				if g == nil {
+					return
+				}
+				for _, b := range g.Blocks {
+					if !g.InLoop(b) {
+						continue
+					}
+					for _, n := range b.Nodes {
+						d, ok := n.(*ast.DeferStmt)
+						if !ok {
+							continue
+						}
+						if what, ok := releasingCall(p, d.Call); ok {
+							p.Reportf(d.Pos(), "defer %s inside a loop runs only at function exit, piling up one registration per iteration: release explicitly or hoist the loop body into a function", what)
+						}
+					}
+				}
+			})
+		},
+	}
+}
+
+// releaseMethods is the shared release vocabulary of the repo's resource
+// types: files/connections/channels (Close), locks (Unlock/RUnlock),
+// WaitGroups (Done), obs spans (End), tickers/servers (Stop/Shutdown),
+// pooled objects (Release).
+var releaseMethods = map[string]bool{
+	"Close": true, "Unlock": true, "RUnlock": true, "Done": true,
+	"End": true, "Stop": true, "Release": true, "Shutdown": true,
+}
+
+// releasingCall classifies call as resource-releasing and returns a short
+// rendering for the diagnostic.
+func releasingCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if releaseMethods[fun.Sel.Name] {
+			return exprText(fun) + "()", true
+		}
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[fun]; obj != nil && namedFrom(obj.Type(), "context", "CancelFunc") {
+			return fun.Name + "()", true
+		}
+	case *ast.FuncLit:
+		found := ""
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if what, ok := releasingCall(p, inner); ok {
+					found = what
+					return false
+				}
+			}
+			return true
+		})
+		if found != "" {
+			return "func() { ... " + found + " ... }()", true
+		}
+	}
+	return "", false
+}
+
+// exprText renders a selector chain compactly (best-effort, identifiers and
+// dots only) for diagnostics.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprText(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	default:
+		return "..."
+	}
+}

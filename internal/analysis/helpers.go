@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -53,4 +54,99 @@ func funcTakesContext(p *Pass, ft *ast.FuncType) (has, first bool) {
 // fileOf returns the base filename a position belongs to.
 func fileOf(p *Pass, pos ast.Node) string {
 	return p.Pkg.Fset.Position(pos.Pos()).Filename
+}
+
+// deref peels pointers off a type.
+func deref(t types.Type) types.Type {
+	for {
+		ptr, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = ptr.Elem()
+	}
+}
+
+// namedFrom reports whether t (after peeling pointers) is the named type
+// pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// syncOp classifies call as a method call on a sync.Mutex, sync.RWMutex or
+// sync.WaitGroup value — directly or through an embedded field — returning
+// the receiver expression, its rendered key (stable within one function,
+// e.g. "mu" or "s.mu"), the receiver type name and the method name. The
+// resolution is type-driven: a Lock method on an unrelated type does not
+// match, and when type information degraded to placeholders the call is
+// (conservatively) not classified.
+func syncOp(p *Pass, call *ast.CallExpr) (recv ast.Expr, key, typeName, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "Add", "Done", "Wait":
+	default:
+		return nil, "", "", "", false
+	}
+	var rt types.Type
+	if s := p.Pkg.Info.Selections[sel]; s != nil {
+		if fn, isFn := s.Obj().(*types.Func); isFn {
+			if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+				rt = sig.Recv().Type()
+			}
+		}
+	}
+	if rt == nil {
+		if tv, found := p.Pkg.Info.Types[sel.X]; found {
+			rt = tv.Type
+		}
+	}
+	for _, name := range []string{"Mutex", "RWMutex", "WaitGroup"} {
+		if namedFrom(rt, "sync", name) {
+			return sel.X, types.ExprString(sel.X), name, sel.Sel.Name, true
+		}
+	}
+	return nil, "", "", "", false
+}
+
+// rootIdent returns the leftmost identifier of an expression chain like
+// s.pool.mu or (*s).mu, or nil when there is none.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the object id resolves to was declared
+// outside the [lo, hi) source extent — i.e. it is a free variable of the
+// function literal spanning that extent.
+func declaredOutside(p *Pass, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() >= hi
 }

@@ -32,6 +32,8 @@ type Package struct {
 	// caller typically filters diagnostics to target packages; Run itself
 	// runs rules on every loaded package, so lint over "./..." sees all.
 	Target bool
+
+	cfgs map[ast.Node]*CFG // per-function CFG cache shared by the rule pack
 }
 
 // Load parses and type-checks the packages matching patterns, rooted at the
@@ -101,9 +103,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	for _, ip := range order {
 		pp := byPath[ip]
 		info := &types.Info{
-			Types: map[ast.Expr]types.TypeAndValue{},
-			Defs:  map[*ast.Ident]types.Object{},
-			Uses:  map[*ast.Ident]types.Object{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
 		}
 		conf := types.Config{
 			Importer: imp,

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// LockBalance enforces that every sync.Mutex/RWMutex acquisition is released
+// on every path out of the enclosing function. Contract (DESIGN.md §13): a
+// lock held across an early return wedges the next caller forever — in the
+// stream server that is a whole connection pool — and the failure only
+// reproduces under the interleaving that takes the early path.
+//
+// The check runs on the function's CFG: each mu.Lock()/mu.RLock() call site
+// sets a per-site "held" fact; mu.Unlock()/mu.RUnlock() clears the sites of
+// that receiver; `defer mu.Unlock()` (directly or inside a deferred closure)
+// sets a sticky "covered" fact, which also protects panic paths — deferred
+// calls run while panicking, and explicit unlocks after a panic statement do
+// not. A site whose fact can reach the function exit unreleased and
+// uncovered is a diagnostic, anchored at the Lock call.
+//
+// TryLock/TryRLock are ignored: their acquisition is conditional on a value
+// the analysis does not track. Receivers are keyed by expression spelling
+// (mu, s.mu), so distinct instances through the same expression are one
+// lock, which is the granularity the discipline cares about. Intentional
+// cross-function handoffs (a locked struct returned to the caller) carry a
+// //lint:allow lockbalance waiver.
+func LockBalance() *Rule {
+	return &Rule{
+		Name: "lockbalance",
+		Doc:  "every sync.Mutex/RWMutex Lock must reach Unlock or defer Unlock on all paths out of the function (panics included)",
+		Run: func(p *Pass) {
+			eachFuncBody(p, func(fn ast.Node, ft *ast.FuncType, body *ast.BlockStmt) {
+				checkLockBalance(p, fn)
+			})
+		},
+	}
+}
+
+// unlockFor pairs each acquisition method with its release.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+type lockSite struct {
+	call   *ast.CallExpr
+	key    string // receiver spelling, e.g. "s.mu"
+	method string // Lock or RLock
+	fact   int    // held-fact index
+}
+
+func checkLockBalance(p *Pass, fn ast.Node) {
+	g := p.CFG(fn)
+	if g == nil {
+		return
+	}
+
+	// Collect acquisition sites and assign facts: one "held" fact per site,
+	// one "covered" fact per (receiver, release-method) pair.
+	var sites []lockSite
+	coverFact := map[string]int{} // key + "\x00" + unlock method -> fact
+	nextFact := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, key, tn, method, ok := syncOp(p, call); ok && tn != "WaitGroup" {
+					if release, acquires := unlockFor[method]; acquires {
+						sites = append(sites, lockSite{call: call, key: key, method: method, fact: nextFact})
+						nextFact++
+						ck := key + "\x00" + release
+						if _, have := coverFact[ck]; !have {
+							coverFact[ck] = -1 // assigned below, after all sites
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+	for ck := range coverFact {
+		coverFact[ck] = nextFact
+		nextFact++
+	}
+	if nextFact > 64 {
+		return // beyond the fact budget; a function this size has other problems
+	}
+
+	transfer := func(n ast.Node, s Facts) Facts {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// A registered defer covers every later exit, normal or panic.
+			for ck, f := range coverFact {
+				key, release := splitCoverKey(ck)
+				if deferReleases(p, d.Call, key, release) {
+					s = s.With(f)
+				}
+			}
+			return s
+		}
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, key, tn, method, ok := syncOp(p, call)
+			if !ok || tn == "WaitGroup" {
+				return true
+			}
+			if _, acquires := unlockFor[method]; acquires {
+				for _, site := range sites {
+					if site.call == call {
+						s = s.With(site.fact)
+					}
+				}
+			} else if method == "Unlock" || method == "RUnlock" {
+				for _, site := range sites {
+					if site.key == key && unlockFor[site.method] == method {
+						s = s.Without(site.fact)
+					}
+				}
+			}
+			return true
+		})
+		return s
+	}
+
+	r := Forward(g, 0, transfer)
+	for _, site := range sites {
+		release := unlockFor[site.method]
+		cf := coverFact[site.key+"\x00"+release]
+		for _, s := range r.ExitStates() {
+			if s.Has(site.fact) && !s.Has(cf) {
+				p.Reportf(site.call.Pos(),
+					"%s.%s() is not released on every path out of the function: defer %s.%s() (which also covers panics) or release before each return",
+					site.key, site.method, site.key, release)
+				break
+			}
+		}
+	}
+}
+
+func splitCoverKey(ck string) (key, release string) {
+	for i := 0; i < len(ck); i++ {
+		if ck[i] == 0 {
+			return ck[:i], ck[i+1:]
+		}
+	}
+	return ck, ""
+}
+
+// deferReleases reports whether the deferred call releases key's lock with
+// the given method — either directly (defer mu.Unlock()) or anywhere inside
+// a deferred closure (defer func() { ...; mu.Unlock() }()). Inside the
+// closure the walk is deep: the closure body runs at function exit on this
+// goroutine, so its releases count.
+func deferReleases(p *Pass, call *ast.CallExpr, key, release string) bool {
+	if _, k, _, m, ok := syncOp(p, call); ok && k == key && m == release {
+		return true
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if _, k, _, m, ok := syncOp(p, inner); ok && k == key && m == release {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -9,101 +9,107 @@ import (
 // ObsSpan enforces the span-lifecycle contract of the observability layer:
 // every span returned by obs.StartSpan must be ended on every path through
 // the enclosing function — either a `defer span.End()` (possibly inside a
-// deferred closure) or an explicit `span.End()` before each return and
-// before falling off the end. A span that is never ended never records its
-// trace event, so the leak is silent: the trace just misses the operation.
-// Discarding the span with `_` is also a diagnostic. Spans that
-// intentionally outlive the function (ownership handed to a caller, as in
-// deform.BeginSession) carry a //lint:allow obsspan waiver on the
-// StartSpan line.
+// deferred closure) or an explicit `span.End()` reaching each exit. A span
+// that is never ended never records its trace event, so the leak is silent:
+// the trace just misses the operation. Discarding the span with `_` is also
+// a diagnostic. Spans that intentionally outlive the function (ownership
+// handed to a caller, as in deform.BeginSession) carry a
+// //lint:allow obsspan waiver on the StartSpan line.
 //
-// The check is a linear walk with branch-sensitive merging, not full
-// control-flow analysis: an End inside only one arm of an if does not count
-// as ending on the fall-through path, and Ends inside loops, switches or
-// nested function literals are treated conservatively (they may execute
-// zero times). Diagnostics anchor at the StartSpan call so one waiver
-// covers every path violation of that span.
+// Since PR 7 the check runs on the function's control-flow graph: the
+// StartSpan assignment sets a per-site "pending" fact, End clears it, and a
+// pending fact in any dataflow state reaching the function exit is a
+// diagnostic. That makes the rule exact where the old linear walk was
+// conservative — an End in every arm of a select now satisfies the
+// contract, and an early return smuggled out of a nested branch no longer
+// escapes it. Diagnostics anchor at the StartSpan call so one waiver covers
+// every path violation of that span.
 func ObsSpan() *Rule {
 	return &Rule{
 		Name: "obsspan",
 		Doc:  "every obs.StartSpan span must be ended on all paths (defer span.End() or End before each return)",
 		Run: func(p *Pass) {
-			for _, f := range p.Pkg.Files {
-				ast.Inspect(f, func(n ast.Node) bool {
-					var body *ast.BlockStmt
-					switch fn := n.(type) {
-					case *ast.FuncDecl:
-						body = fn.Body
-					case *ast.FuncLit:
-						body = fn.Body
-					default:
-						return true
-					}
-					if body != nil {
-						checkSpansIn(p, body)
-					}
-					return true
-				})
-			}
+			eachFuncBody(p, func(fn ast.Node, ft *ast.FuncType, body *ast.BlockStmt) {
+				checkObsSpans(p, fn)
+			})
 		},
 	}
 }
 
-// checkSpansIn finds StartSpan assignments directly inside fn's body
-// (including nested blocks, but not nested function literals — those are
-// their own scopes, visited separately) and verifies each span's lifecycle.
-func checkSpansIn(p *Pass, body *ast.BlockStmt) {
-	var walk func(stmts []ast.Stmt)
-	walk = func(stmts []ast.Stmt) {
-		for i, st := range stmts {
-			as, ok := st.(*ast.AssignStmt)
-			if ok {
-				if call, spanID := startSpanAssign(p, as); call != nil {
-					if spanID == nil || spanID.Name == "_" {
-						p.Reportf(call.Pos(), "obs.StartSpan span discarded with _: the span is never ended and its trace event is lost")
-					} else if obj := spanObject(p, spanID); obj != nil {
-						c := &spanCheck{p: p, obj: obj}
-						st, term := c.analyze(stmts[i+1:], pathState{})
-						if c.violated || (!term && !st.safe()) {
-							p.Reportf(call.Pos(), "span %s from obs.StartSpan is not ended on every path: defer %s.End() or call End before each return (waive intentional hand-off with //lint:allow obsspan)", spanID.Name, spanID.Name)
-						}
-					}
-				}
+type spanSite struct {
+	assign *ast.AssignStmt
+	call   *ast.CallExpr
+	id     *ast.Ident
+	obj    types.Object
+	fact   int
+}
+
+func checkObsSpans(p *Pass, fn ast.Node) {
+	g := p.CFG(fn)
+	if g == nil {
+		return
+	}
+	var sites []*spanSite
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
 			}
-			// Recurse into nested statement lists so StartSpan calls inside
-			// ifs/loops are found with their own enclosing list.
-			switch s := st.(type) {
-			case *ast.BlockStmt:
-				walk(s.List)
-			case *ast.IfStmt:
-				walk(s.Body.List)
-				if e, ok := s.Else.(*ast.BlockStmt); ok {
-					walk(e.List)
-				} else if e, ok := s.Else.(*ast.IfStmt); ok {
-					walk([]ast.Stmt{e})
-				}
-			case *ast.ForStmt:
-				walk(s.Body.List)
-			case *ast.RangeStmt:
-				walk(s.Body.List)
-			case *ast.SwitchStmt:
-				for _, cc := range s.Body.List {
-					walk(cc.(*ast.CaseClause).Body)
-				}
-			case *ast.TypeSwitchStmt:
-				for _, cc := range s.Body.List {
-					walk(cc.(*ast.CaseClause).Body)
-				}
-			case *ast.SelectStmt:
-				for _, cc := range s.Body.List {
-					walk(cc.(*ast.CommClause).Body)
-				}
-			case *ast.LabeledStmt:
-				walk([]ast.Stmt{s.Stmt})
+			call, id := startSpanAssign(p, as)
+			if call == nil {
+				continue
+			}
+			if id == nil || id.Name == "_" {
+				p.Reportf(call.Pos(), "obs.StartSpan span discarded with _: the span is never ended and its trace event is lost")
+				continue
+			}
+			if obj := spanObject(p, id); obj != nil {
+				sites = append(sites, &spanSite{assign: as, call: call, id: id, obj: obj, fact: len(sites)})
 			}
 		}
 	}
-	walk(body.List)
+	if len(sites) == 0 || len(sites) > 64 {
+		return
+	}
+
+	transfer := func(n ast.Node, s Facts) Facts {
+		for _, site := range sites {
+			if n == site.assign {
+				s = s.With(site.fact)
+			}
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			for _, site := range sites {
+				if deferEndsSpan(p, d.Call, site.obj) {
+					s = s.Without(site.fact)
+				}
+			}
+			return s
+		}
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, site := range sites {
+				if endsSpan(p, call, site.obj) {
+					s = s.Without(site.fact)
+				}
+			}
+			return true
+		})
+		return s
+	}
+
+	r := Forward(g, 0, transfer)
+	for _, site := range sites {
+		if r.MayExit(site.fact) {
+			p.Reportf(site.call.Pos(),
+				"span %s from obs.StartSpan is not ended on every path: defer %s.End() or call End before each return (waive intentional hand-off with //lint:allow obsspan)",
+				site.id.Name, site.id.Name)
+		}
+	}
 }
 
 // startSpanAssign matches `a, b := obs.StartSpan(...)` (or `=`) and returns
@@ -137,111 +143,8 @@ func spanObject(p *Pass, id *ast.Ident) types.Object {
 	return p.Pkg.Info.Uses[id]
 }
 
-// pathState tracks one execution path's span status.
-type pathState struct {
-	ended    bool // span.End() has run on this path
-	deferred bool // defer span.End() is registered on this path
-}
-
-func (s pathState) safe() bool { return s.ended || s.deferred }
-
-// merge combines the fall-through states of two branches: the span is only
-// safe after the join if it was safe down both arms.
-func (s pathState) merge(o pathState) pathState {
-	return pathState{ended: s.ended && o.ended, deferred: s.deferred && o.deferred}
-}
-
-type spanCheck struct {
-	p        *Pass
-	obj      types.Object
-	violated bool
-}
-
-// analyze walks stmts linearly, tracking whether the span is ended or
-// covered by a defer. It returns the fall-through state and whether every
-// path through stmts terminates (returns) before falling through. A return
-// reached while the span is neither ended nor deferred is a violation.
-func (c *spanCheck) analyze(stmts []ast.Stmt, st pathState) (pathState, bool) {
-	for _, s := range stmts {
-		switch s := s.(type) {
-		case *ast.DeferStmt:
-			if c.callEndsSpan(s.Call) || c.deferredClosureEndsSpan(s.Call) {
-				st.deferred = true
-			}
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok && c.callEndsSpan(call) {
-				st.ended = true
-			}
-		case *ast.ReturnStmt:
-			if !st.safe() {
-				c.violated = true
-			}
-			return st, true
-		case *ast.BranchStmt:
-			// break/continue/goto leave the list; conservatively treat an
-			// unsafe span as a violation only at returns, so just stop.
-			return st, false
-		case *ast.BlockStmt:
-			var term bool
-			st, term = c.analyze(s.List, st)
-			if term {
-				return st, true
-			}
-		case *ast.IfStmt:
-			thenSt, thenTerm := c.analyze(s.Body.List, st)
-			elseSt, elseTerm := st, false
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				elseSt, elseTerm = c.analyze(e.List, st)
-			case *ast.IfStmt:
-				elseSt, elseTerm = c.analyze([]ast.Stmt{e}, st)
-			}
-			switch {
-			case thenTerm && elseTerm:
-				return st, true
-			case thenTerm:
-				st = elseSt
-			case elseTerm:
-				st = thenSt
-			default:
-				st = thenSt.merge(elseSt)
-			}
-		case *ast.ForStmt:
-			// The body may run zero times: check its paths but do not let a
-			// loop-body End mark the fall-through path as ended.
-			c.analyze(s.Body.List, st)
-		case *ast.RangeStmt:
-			c.analyze(s.Body.List, st)
-		case *ast.SwitchStmt:
-			c.analyzeCases(s.Body.List, st)
-		case *ast.TypeSwitchStmt:
-			c.analyzeCases(s.Body.List, st)
-		case *ast.SelectStmt:
-			for _, cc := range s.Body.List {
-				c.analyze(cc.(*ast.CommClause).Body, st)
-			}
-		case *ast.LabeledStmt:
-			var term bool
-			st, term = c.analyze([]ast.Stmt{s.Stmt}, st)
-			if term {
-				return st, true
-			}
-		}
-	}
-	return st, false
-}
-
-// analyzeCases checks each case body independently; without a default arm
-// no case is guaranteed to run, so fall-through state is left unchanged
-// (conservative: an End inside a case never satisfies the contract alone).
-func (c *spanCheck) analyzeCases(clauses []ast.Stmt, st pathState) {
-	for _, cc := range clauses {
-		c.analyze(cc.(*ast.CaseClause).Body, st)
-	}
-}
-
-// callEndsSpan reports whether call is span.End() on the tracked span.
-func (c *spanCheck) callEndsSpan(call *ast.CallExpr) bool {
+// endsSpan reports whether call is span.End() on the tracked span object.
+func endsSpan(p *Pass, call *ast.CallExpr, obj types.Object) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "End" {
 		return false
@@ -250,19 +153,23 @@ func (c *spanCheck) callEndsSpan(call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	return c.p.Pkg.Info.Uses[id] == c.obj
+	return p.Pkg.Info.Uses[id] == obj
 }
 
-// deferredClosureEndsSpan reports whether call is an immediately-deferred
-// function literal whose body (at any depth) calls span.End().
-func (c *spanCheck) deferredClosureEndsSpan(call *ast.CallExpr) bool {
+// deferEndsSpan reports whether the deferred call ends the span — directly
+// (defer sp.End()) or anywhere inside a deferred closure, whose body runs at
+// function exit on this goroutine (panic unwinding included).
+func deferEndsSpan(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if endsSpan(p, call, obj) {
+		return true
+	}
 	lit, ok := call.Fun.(*ast.FuncLit)
 	if !ok {
 		return false
 	}
 	found := false
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if inner, ok := n.(*ast.CallExpr); ok && c.callEndsSpan(inner) {
+		if inner, ok := n.(*ast.CallExpr); ok && endsSpan(p, inner, obj) {
 			found = true
 			return false
 		}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// Report is the machine-readable lint output consumed by CI: every finding
+// (waived ones included, marked as such) plus summary counts, so a pipeline
+// can gate on Violations without re-parsing the findings and an auditor can
+// read the waiver inventory from the same artifact.
+type Report struct {
+	Findings   []ReportFinding `json:"findings"`
+	Violations int             `json:"violations"` // unwaived findings
+	Waived     int             `json:"waived"`
+}
+
+// ReportFinding is one diagnostic in JSON form. File is relative to the
+// directory the lint run was rooted at when possible, absolute otherwise.
+type ReportFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Waived  bool   `json:"waived"`
+}
+
+// NewReport converts findings to the JSON report shape, relativizing file
+// paths against relTo (pass "" to keep them as reported).
+func NewReport(findings []Finding, relTo string) Report {
+	r := Report{Findings: []ReportFinding{}}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if relTo != "" {
+			if rel, err := filepath.Rel(relTo, file); err == nil && !filepath.IsAbs(rel) {
+				file = rel
+			}
+		}
+		r.Findings = append(r.Findings, ReportFinding{
+			File:    file,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Rule:    f.Rule,
+			Message: f.Message,
+			Waived:  f.Waived,
+		})
+		if f.Waived {
+			r.Waived++
+		} else {
+			r.Violations++
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

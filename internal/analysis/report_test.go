@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"caliqec/internal/analysis"
+)
+
+// TestRunDetailedAndReport pins the machine-readable contract caliqec-lint
+// -json is built on: RunDetailed keeps waived findings marked Waived,
+// NewReport counts violations and waivers separately, and the JSON shape
+// (file/line/rule/message/waived) round-trips.
+func TestRunDetailedAndReport(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"a/a.go": `package a
+
+func Eq(a, b float64) bool {
+	return a == b
+}
+
+func Sentinel(a, b float64) bool {
+	return a == b //lint:allow floateq exact sentinel documented here
+}
+`})
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := analysis.RunDetailed(pkgs, []*analysis.Rule{analysis.FloatEq()})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (one live, one waived): %v", len(findings), findings)
+	}
+	report := analysis.NewReport(findings, dir)
+	if report.Violations != 1 || report.Waived != 1 {
+		t.Fatalf("got violations=%d waived=%d, want 1 and 1", report.Violations, report.Waived)
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded analysis.Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Findings) != 2 {
+		t.Fatalf("decoded %d findings, want 2", len(decoded.Findings))
+	}
+	for _, f := range decoded.Findings {
+		if f.Rule != "floateq" || f.File != "a/a.go" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+	if decoded.Findings[0].Waived == decoded.Findings[1].Waived {
+		t.Errorf("expected exactly one waived finding, got %+v", decoded.Findings)
+	}
+}

@@ -10,7 +10,8 @@ import (
 )
 
 // AllRules returns the project rule set in reporting order. Each rule
-// enforces one contract from DESIGN.md's "Enforced invariants" section.
+// enforces one contract from DESIGN.md's "Enforced invariants" section
+// (§8) or the flow-sensitive concurrency discipline (§13).
 func AllRules() []*Rule {
 	return []*Rule{
 		NakedRand(),
@@ -21,6 +22,11 @@ func AllRules() []*Rule {
 		BareLoop(),
 		ObsSpan(),
 		ChanClose(),
+		LockBalance(),
+		CtxCancel(),
+		GoroutineLeak(),
+		WgDiscipline(),
+		DeferLoop(),
 	}
 }
 

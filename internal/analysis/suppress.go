@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -11,9 +12,14 @@ import (
 //
 // and waive the named rules for diagnostics on the comment's own line or
 // on the line immediately below it (so both trailing comments and
-// comments-above-the-statement work). The reason is mandatory: an allow
-// without one does not suppress anything and is reported itself, which
-// keeps every waiver in the tree documented.
+// comments-above-the-statement work). When the line below starts a simple
+// multi-line statement (an assignment, call, return, send, defer, go or
+// declaration continued across lines), the waiver covers the statement's
+// whole extent — a diagnostic anchored on a continuation line is still
+// suppressed. Inside /* */ comment blocks each line is scanned separately,
+// so a directive keeps its own line position wherever it sits in the block.
+// The reason is mandatory: an allow without one does not suppress anything
+// and is reported itself, which keeps every waiver in the tree documented.
 
 const allowPrefix = "lint:allow"
 
@@ -49,44 +55,123 @@ func collectAllows(pkg *Package, known map[string]bool) (allowSet, []Diagnostic)
 			Message: msg,
 		})
 	}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimPrefix(text, "/*")
-				text = strings.TrimSuffix(text, "*/")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, allowPrefix) {
-					continue
+	// record parses one directive, reports problems at key, and applies the
+	// valid rules to every key in keys (a block-comment directive can cover
+	// both its own line and the block's closing line).
+	record := func(text string, key lineKey, keys ...lineKey) {
+		rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			report(key, "lint:allow needs a rule name and a reason")
+			return
+		}
+		if len(fields) < 2 {
+			report(key, "lint:allow "+fields[0]+" needs a reason explaining why the contract is waived")
+			return
+		}
+		for _, rule := range strings.Split(fields[0], ",") {
+			rule = strings.TrimSpace(rule)
+			if rule == "" {
+				continue
+			}
+			if !known[rule] {
+				report(key, "lint:allow names unknown rule "+rule)
+				continue
+			}
+			for _, k := range append([]lineKey{key}, keys...) {
+				if out.rules[k] == nil {
+					out.rules[k] = map[string]bool{}
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := lineKey{pos.Filename, pos.Line}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					report(key, "lint:allow needs a rule name and a reason")
-					continue
-				}
-				if len(fields) < 2 {
-					report(key, "lint:allow "+fields[0]+" needs a reason explaining why the contract is waived")
-					continue
-				}
-				for _, rule := range strings.Split(fields[0], ",") {
-					rule = strings.TrimSpace(rule)
-					if rule == "" {
-						continue
-					}
-					if !known[rule] {
-						report(key, "lint:allow names unknown rule "+rule)
-						continue
-					}
-					if out.rules[key] == nil {
-						out.rules[key] = map[string]bool{}
-					}
-					out.rules[key][rule] = true
-				}
+				out.rules[k][rule] = true
 			}
 		}
 	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				start := pkg.Fset.Position(c.Pos())
+				if strings.HasPrefix(c.Text, "//") {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if strings.HasPrefix(text, allowPrefix) {
+						record(text, lineKey{start.Filename, start.Line})
+					}
+					continue
+				}
+				// Block comment: scan line by line so a directive buried in
+				// /* ... */ keeps the position of its own line, not the
+				// comment opener's. Leading * decorations are stripped. A
+				// directive followed only by decoration (the closing */ of a
+				// starred block) also counts at the block's last line, so
+				// the adjacency rule still reaches the statement below.
+				body := strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+				lines := strings.Split(body, "\n")
+				strip := func(s string) string {
+					return strings.TrimSpace(strings.TrimLeft(strings.TrimSpace(s), "*"))
+				}
+				for i, line := range lines {
+					text := strip(line)
+					if !strings.HasPrefix(text, allowPrefix) {
+						continue
+					}
+					tailBlank := true
+					for _, rest := range lines[i+1:] {
+						if strip(rest) != "" {
+							tailBlank = false
+							break
+						}
+					}
+					own := lineKey{start.Filename, start.Line + i}
+					if tailBlank && i < len(lines)-1 {
+						record(text, own, lineKey{start.Filename, start.Line + len(lines) - 1})
+					} else {
+						record(text, own)
+					}
+				}
+			}
+		}
+		extendMultiline(pkg, f, out)
+	}
 	return out, diags
+}
+
+// extendMultiline widens comment-above waivers over multi-line simple
+// statements: when a statement's first line (or the line above it) carries
+// allows, every line of the statement inherits them, so diagnostics anchored
+// mid-statement (a float comparison on a continuation line, a StartSpan call
+// after a line break) are still covered. Only simple statements extend —
+// a waiver above an if or for must not blanket the whole body.
+func extendMultiline(pkg *Package, f *ast.File, out allowSet) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.SendStmt,
+			*ast.DeferStmt, *ast.GoStmt, *ast.DeclStmt, *ast.IncDecStmt:
+		default:
+			return true
+		}
+		start := pkg.Fset.Position(n.Pos())
+		end := pkg.Fset.Position(n.End())
+		if end.Line <= start.Line {
+			return true
+		}
+		var src map[string]bool
+		for _, line := range []int{start.Line, start.Line - 1} {
+			if rs, ok := out.rules[lineKey{start.Filename, line}]; ok {
+				src = rs
+				break
+			}
+		}
+		if src == nil {
+			return true
+		}
+		for line := start.Line + 1; line <= end.Line; line++ {
+			key := lineKey{start.Filename, line}
+			if out.rules[key] == nil {
+				out.rules[key] = map[string]bool{}
+			}
+			for rule := range src {
+				out.rules[key][rule] = true
+			}
+		}
+		return true
+	})
 }

@@ -1,0 +1,131 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"caliqec/internal/analysis"
+)
+
+// TestSuppressBlockComment pins waiver scanning inside /* */ comment groups:
+// each line of the block is scanned separately, so a directive keeps its own
+// line position instead of the comment opener's.
+func TestSuppressBlockComment(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"directive on the last line of a block comment covers the statement below",
+			map[string]string{"a/a.go": `package a
+
+func Sentinel(a, b float64) bool {
+	/* The comparison below checks the exact zero sentinel.
+	   lint:allow floateq zero value means unset */
+	return a == b
+}
+`},
+			nil,
+		},
+		{
+			"directive on its own line inside a starred block comment",
+			map[string]string{"a/a.go": `package a
+
+func Sentinel(a, b float64) bool {
+	/*
+	 * lint:allow floateq zero value means unset
+	 */
+	return a == b
+}
+`},
+			nil,
+		},
+		{
+			"directive buried early in a long block does not reach distant lines",
+			map[string]string{"a/a.go": `package a
+
+func Sentinel(a, b float64) bool {
+	/* lint:allow floateq zero value means unset
+	   more prose
+	   and more prose pushing the statement out of range */
+	return a == b
+}
+`},
+			map[string]int{"floateq": 1},
+		},
+		{
+			"unknown rule inside a block comment is reported with its own line",
+			map[string]string{"a/a.go": `package a
+
+/*
+Notes on the waiver below.
+lint:allow nosuchrule because reasons
+*/
+func F() {}
+`},
+			map[string]int{"lint": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.FloatEq()), tc.want)
+		})
+	}
+}
+
+// TestSuppressMultilineStatement pins waiver extension over multi-line simple
+// statements: a comment-above waiver covers diagnostics anchored on the
+// statement's continuation lines, but never extends through compound
+// statements like if or for.
+func TestSuppressMultilineStatement(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  map[string]int
+	}{
+		{
+			"waiver above covers a comparison on a continuation line",
+			map[string]string{"a/a.go": `package a
+
+func Sentinels(a, b, c, d float64) bool {
+	//lint:allow floateq exact zero sentinels documented here
+	eq := a == b ||
+		c == d
+	return eq
+}
+`},
+			nil,
+		},
+		{
+			"without the waiver both comparisons fire",
+			map[string]string{"a/a.go": `package a
+
+func Sentinels(a, b, c, d float64) bool {
+	eq := a == b ||
+		c == d
+	return eq
+}
+`},
+			map[string]int{"floateq": 2},
+		},
+		{
+			"waiver above an if does not blanket its body",
+			map[string]string{"a/a.go": `package a
+
+func Guard(a, b float64) bool {
+	//lint:allow floateq waivers do not extend into blocks
+	if a > 0 {
+		return a == b
+	}
+	return false
+}
+`},
+			map[string]int{"floateq": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCounts(t, lint(t, tc.files, analysis.FloatEq()), tc.want)
+		})
+	}
+}

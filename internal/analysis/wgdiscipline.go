@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WgDiscipline enforces the three sync.WaitGroup rules whose violations all
+// present as the same flaky symptom — Wait returning early or never:
+//
+//   - Add must happen in the spawning goroutine, before the `go` statement:
+//     an Add inside the spawned closure races with Wait, which may observe
+//     the counter before the goroutine has incremented it;
+//   - a goroutine that participates in a WaitGroup must reach Done on every
+//     exit path (defer wg.Done() also covers panic unwinding) — a missed
+//     Done on one early-return path hangs Wait forever;
+//   - no Add after Wait in the same function: reusing the group for a second
+//     wave in one function body is almost always a refactor remnant, and if
+//     the waves genuinely are sequential the //lint:allow wgdiscipline
+//     waiver documents it.
+//
+// The Done check runs on the spawned closure's own CFG; the Add-after-Wait
+// check is forward dataflow on the spawning function (branches and loops
+// included: `for { wg.Add(1); go ...; wg.Wait() }` flags the second
+// iteration's Add).
+func WgDiscipline() *Rule {
+	return &Rule{
+		Name: "wgdiscipline",
+		Doc:  "WaitGroup.Add before the go statement, Done reachable on all goroutine exit paths, no Add after Wait in one function",
+		Run: func(p *Pass) {
+			// Checks 1 and 2 anchor on go statements anywhere in the package.
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					checkSpawnedWg(p, gs)
+					return true
+				})
+			}
+			// Check 3 runs per function body.
+			eachFuncBody(p, func(fn ast.Node, ft *ast.FuncType, body *ast.BlockStmt) {
+				checkAddAfterWait(p, fn)
+			})
+		},
+	}
+}
+
+// checkSpawnedWg applies the inside-the-goroutine checks to one go statement
+// with a closure: no Add on an outer WaitGroup, and Done (when used at all)
+// reachable on every exit path.
+func checkSpawnedWg(p *Pass, gs *ast.GoStmt) {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	lo, hi := lit.Pos(), lit.End()
+
+	// Check 1: wg.Add on a WaitGroup declared outside the goroutine. The
+	// walk is deep (nested closures still run inside this goroutine's
+	// lifetime as far as the race with Wait is concerned).
+	doneKeys := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, key, tn, method, ok := syncOp(p, call)
+		if !ok || tn != "WaitGroup" {
+			return true
+		}
+		root := rootIdent(recv)
+		outer := root != nil && declaredOutside(p, root, lo, hi)
+		switch method {
+		case "Add":
+			if outer {
+				p.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races with Wait: Add in the spawning goroutine, before the go statement", key)
+			}
+		case "Done":
+			if outer {
+				doneKeys[key] = true
+			}
+		}
+		return true
+	})
+
+	// Check 2: every exit path of the goroutine reaches Done for each outer
+	// WaitGroup it participates in.
+	if len(doneKeys) == 0 {
+		return
+	}
+	g := p.CFG(lit)
+	if g == nil || len(g.Blocks) == 0 {
+		return
+	}
+	if len(Forward(g, 0, func(ast.Node, Facts) Facts { return 0 }).ExitStates()) == 0 {
+		return // the goroutine never exits (run-forever worker): Done is moot
+	}
+	for key := range doneKeys {
+		fact := 0
+		transfer := func(n ast.Node, s Facts) Facts {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				if deferReleases(p, d.Call, key, "Done") {
+					return s.With(fact)
+				}
+				return s
+			}
+			inspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if _, k, tn, method, ok := syncOp(p, call); ok && tn == "WaitGroup" && k == key && method == "Done" {
+						s = s.With(fact)
+					}
+				}
+				return true
+			})
+			return s
+		}
+		if !Forward(g, 0, transfer).MustExit(fact) {
+			p.Reportf(gs.Pos(), "goroutine may exit without calling %s.Done: defer %s.Done() first thing in the goroutine", key, key)
+		}
+	}
+}
+
+// checkAddAfterWait flags wg.Add reachable after wg.Wait in the same
+// function body via forward dataflow (one "waited" fact per receiver key).
+func checkAddAfterWait(p *Pass, fn ast.Node) {
+	g := p.CFG(fn)
+	if g == nil {
+		return
+	}
+	waitFact := map[string]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			inspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if _, key, tn, method, ok := syncOp(p, call); ok && tn == "WaitGroup" && method == "Wait" {
+						if _, have := waitFact[key]; !have {
+							waitFact[key] = len(waitFact)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(waitFact) == 0 || len(waitFact) > 64 {
+		return
+	}
+	transfer := func(n ast.Node, s Facts) Facts {
+		inspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if _, key, tn, method, ok := syncOp(p, call); ok && tn == "WaitGroup" && method == "Wait" {
+					if f, have := waitFact[key]; have {
+						s = s.With(f)
+					}
+				}
+			}
+			return true
+		})
+		return s
+	}
+	r := Forward(g, 0, transfer)
+	reported := map[*ast.CallExpr]bool{}
+	r.Walk(func(n ast.Node, before Facts) {
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || reported[call] {
+				return true
+			}
+			if _, key, tn, method, ok := syncOp(p, call); ok && tn == "WaitGroup" && method == "Add" {
+				if f, have := waitFact[key]; have && before.Has(f) {
+					reported[call] = true
+					p.Reportf(call.Pos(), "%s.Add after %s.Wait in the same function: use a fresh WaitGroup per wave (or waive a documented sequential reuse)", key, key)
+				}
+			}
+			return true
+		})
+	})
+}

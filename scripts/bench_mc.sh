@@ -167,3 +167,35 @@ END {
     if (fail) exit 1
 }' > BENCH_stream.json
 cat BENCH_stream.json
+
+# Lint-gate trajectory: one BenchmarkLintRepo op is a full caliqec-lint pass
+# (load + type-check + every rule, CFG and dataflow included) over the whole
+# module. Budget: 10s/op. Measured values sit around 0.5s; the headroom
+# absorbs slow CI runners while still catching an accidentally quadratic
+# rule (the CFG cache, for instance, failing to cache) before the lint job
+# becomes the pipeline's long pole.
+out="$(go test -run '^$' -bench 'BenchmarkLintRepo' -benchtime "$benchtime" -count 1 .)"
+echo "$out"
+echo "$out" | awk -v benchtime="$benchtime" -v cores="$cores" '
+/^BenchmarkLintRepo/ {
+    ns = $3
+}
+END {
+    budget = 10000000000
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cores\": %d,\n", cores
+    printf "  \"lint_ns_per_op\": %s,\n", (ns != "" ? ns : "null")
+    # %.0f, not %d: 1e10 overflows 32-bit awk integers.
+    printf "  \"lint_budget_ns\": %.0f\n", budget
+    printf "}\n"
+    if (ns == "") {
+        printf "FAIL: BenchmarkLintRepo result missing from benchmark output\n" > "/dev/stderr"
+        exit 1
+    }
+    if (ns + 0 > budget) {
+        printf "FAIL: lint pass %s ns/op exceeds the %d ns budget\n", ns, budget > "/dev/stderr"
+        exit 1
+    }
+}' > BENCH_lint.json
+cat BENCH_lint.json
