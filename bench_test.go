@@ -23,7 +23,6 @@ import (
 	"caliqec/internal/workload"
 	"context"
 	"io"
-	"sort"
 	"testing"
 	"time"
 )
@@ -291,10 +290,12 @@ func BenchmarkEngineBatchSweep(b *testing.B) {
 // "serial" adds single-threaded FrameDecoder scoring on top of it,
 // "pipeline" is the production stream.Replay worker pipeline, and
 // "windowed" decodes the same frames through a sliding 3-round window,
-// timing every IngestRound. CI asserts the pipeline does not regress below
-// the serial baseline and that the windowed per-round p99 latency stays
-// under budget (scripts/bench_mc.sh, BENCH_stream.json); frames/s is the
-// throughput trajectory number.
+// timing every IngestRound, and "estimator" is the pipeline with the drift
+// monitor enabled. CI asserts the pipeline does not regress below the
+// serial baseline, that the windowed per-round p99 latency stays under
+// budget, and that the estimator costs at most a bounded fraction of
+// pipeline throughput (scripts/bench_mc.sh, BENCH_stream.json); frames/s
+// is the throughput trajectory number.
 func BenchmarkStreamReplay(b *testing.B) {
 	p := memoryCircuit(b, 3)
 	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(3e-3)})
@@ -425,7 +426,7 @@ func BenchmarkStreamReplay(b *testing.B) {
 			}
 			frameRounds = append(frameRounds, rounds)
 		}
-		lat := make([]float64, 0, b.N*len(frameRounds)*g.NumRounds)
+		var lat obs.Histogram
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, rounds := range frameRounds {
@@ -435,15 +436,37 @@ func BenchmarkStreamReplay(b *testing.B) {
 					if err := w.IngestRound(rs); err != nil {
 						b.Fatal(err)
 					}
-					lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+					lat.Observe(time.Since(t0).Nanoseconds())
 				}
 				_ = w.Flush()
 			}
 		}
 		b.StopTimer()
 		reportRate(b)
-		sort.Float64s(lat)
-		b.ReportMetric(lat[len(lat)*99/100], "round_p99_ns")
+		b.ReportMetric(lat.Quantile(0.99), "round_p99_ns")
+	})
+	// The estimator variant re-runs the pipeline with drift monitoring on:
+	// the ns/op delta against "pipeline" is the estimator overhead the CI
+	// budget in scripts/bench_mc.sh bounds.
+	b.Run("estimator", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewReader(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats, err := stream.Replay(ctx, r, fd, stream.PipelineOptions{
+				Metrics:   obs.Discard,
+				Estimator: stream.EstimatorConfig{Window: 256},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Frames != frames {
+				b.Fatalf("replayed %d frames, want %d", stats.Frames, frames)
+			}
+		}
+		reportRate(b)
 	})
 }
 

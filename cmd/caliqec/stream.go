@@ -98,6 +98,7 @@ func cmdReplay(args []string) (err error) {
 	check := fs.Bool("check", false, "re-run the in-process evaluation from the trace's seed metadata and fail on any count mismatch")
 	to := fs.String("to", "", "stream the trace to a caliqec serve instance at this TCP address instead of decoding locally")
 	oc := addObsFlags(fs)
+	dc := addDriftFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: caliqec replay [flags] <trace file>")
@@ -140,6 +141,15 @@ func cmdReplay(args []string) (err error) {
 			err = ferr
 		}
 	}()
+	est, err := dc.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := dc.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	tr, err := stream.NewReader(bufio.NewReader(f))
 	if err != nil {
@@ -169,7 +179,7 @@ func cmdReplay(args []string) (err error) {
 		}
 		scorer = fd
 	}
-	stats, rerr := stream.Replay(ctx, tr, scorer, stream.PipelineOptions{Workers: *workers, QueueDepth: *queue})
+	stats, rerr := stream.Replay(ctx, tr, scorer, stream.PipelineOptions{Workers: *workers, QueueDepth: *queue, Estimator: est})
 	if rerr != nil && !errors.Is(rerr, stream.ErrTruncated) {
 		return rerr
 	}
@@ -182,6 +192,15 @@ func cmdReplay(args []string) (err error) {
 		fmt.Printf(" (trace truncated after %d of %d promised frames)", stats.Frames, h.Shots)
 	}
 	fmt.Println()
+	if dc.enabled() {
+		fmt.Printf("drift: %d events over %d-frame windows", stats.DriftEvents, est.Window)
+		if mon := est.Health.Get("replay"); mon != nil {
+			if qs := mon.Snapshot().DriftingQubits; len(qs) > 0 {
+				fmt.Printf("; drifting qubits %v", qs)
+			}
+		}
+		fmt.Println()
+	}
 
 	if *check {
 		if stats.Truncated {
@@ -220,6 +239,7 @@ func cmdServe(args []string) (err error) {
 	queue := fs.Int("queue", 0, "frame queue depth per stream (0 = default)")
 	window := fs.Int("window", 0, "serve sliding-window decoders with this round window (0 = whole-shot); traces recording a different rounds/shot are rejected")
 	oc := addObsFlags(fs)
+	dc := addDriftFlags(fs)
 	fs.Parse(args)
 	tp, err := parseTopo(*topo)
 	if err != nil {
@@ -234,6 +254,15 @@ func cmdServe(args []string) (err error) {
 	ctx = oc.start(ctx)
 	defer func() {
 		if ferr := oc.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	est, err := dc.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := dc.finish(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}()
@@ -272,5 +301,5 @@ func cmdServe(args []string) (err error) {
 		return err
 	}
 	fmt.Printf("listening on %s (%d circuits); Ctrl-C drains and exits\n", ln.Addr(), cat.Len())
-	return stream.NewServer(cat.Resolve, stream.PipelineOptions{Workers: *workers, QueueDepth: *queue}).Serve(ctx, ln)
+	return stream.NewServer(cat.Resolve, stream.PipelineOptions{Workers: *workers, QueueDepth: *queue, Estimator: est}).Serve(ctx, ln)
 }

@@ -153,6 +153,34 @@ func (c *Circuit) DetectorRounds() []int {
 	return rounds
 }
 
+// DetectorQubits returns, for every detector, the physical qubit whose
+// measurement closed the detector — the qubit of the most recent (highest
+// record index) measurement the detector references, which for the
+// stabilizer circuits built in this repository is the check's measure
+// ancilla. Detectors referencing no record map to -1. Drift observability
+// uses this to attribute an anomalous detector fire rate back to hardware:
+// a drifting qubit elevates exactly the detectors anchored on (or adjacent
+// to) it.
+func (c *Circuit) DetectorQubits() []int {
+	recQubit := make([]int, 0, c.NumMeas)
+	out := make([]int, 0, c.NumDetectors)
+	for _, in := range c.Instructions {
+		switch in.Op {
+		case OpM, OpMX:
+			recQubit = append(recQubit, in.Targets...)
+		case OpDetector:
+			q, best := -1, -1
+			for _, r := range in.Recs {
+				if r > best && r >= 0 && r < len(recQubit) {
+					best, q = r, recQubit[r]
+				}
+			}
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
 // String renders the whole circuit, one instruction per line.
 func (c *Circuit) String() string {
 	lines := make([]string, 0, len(c.Instructions))

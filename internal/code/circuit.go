@@ -36,6 +36,49 @@ func (u UniformNoise) Meas(q int) float64 { return float64(u) }
 // Reset implements NoiseModel.
 func (u UniformNoise) Reset(q int) float64 { return float64(u) }
 
+// HotQubit wraps a base model and elevates every operation touching one
+// qubit to rate P — the circuit-level picture of a single drifted qubit.
+// The drift-injection experiment records traces under HotQubit segments and
+// splices them after steady segments to exercise the stream pipeline's
+// drift detection with a known ground-truth qubit.
+type HotQubit struct {
+	Base  NoiseModel
+	Qubit int
+	P     float64
+}
+
+// Gate1 implements NoiseModel.
+func (h HotQubit) Gate1(q int) float64 {
+	if q == h.Qubit {
+		return h.P
+	}
+	return h.Base.Gate1(q)
+}
+
+// Gate2 implements NoiseModel.
+func (h HotQubit) Gate2(a, b int) float64 {
+	if a == h.Qubit || b == h.Qubit {
+		return h.P
+	}
+	return h.Base.Gate2(a, b)
+}
+
+// Meas implements NoiseModel.
+func (h HotQubit) Meas(q int) float64 {
+	if q == h.Qubit {
+		return h.P
+	}
+	return h.Base.Meas(q)
+}
+
+// Reset implements NoiseModel.
+func (h HotQubit) Reset(q int) float64 {
+	if q == h.Qubit {
+		return h.P
+	}
+	return h.Base.Reset(q)
+}
+
 // MemoryOptions configures memory-experiment circuit generation.
 type MemoryOptions struct {
 	Rounds int           // number of QEC rounds (≥ 1)

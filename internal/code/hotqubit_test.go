@@ -1,0 +1,27 @@
+package code
+
+import "testing"
+
+func TestHotQubitElevatesOnlyTarget(t *testing.T) {
+	h := HotQubit{Base: UniformNoise(1e-3), Qubit: 5, P: 3e-2}
+	if got := h.Gate1(5); got != 3e-2 { //lint:allow floateq model returns its parameter exactly
+		t.Errorf("Gate1(hot) = %g, want 3e-2", got)
+	}
+	if got := h.Gate1(4); got != 1e-3 { //lint:allow floateq model returns its parameter exactly
+		t.Errorf("Gate1(cold) = %g, want base rate", got)
+	}
+	for _, pair := range [][2]int{{5, 1}, {1, 5}} {
+		if got := h.Gate2(pair[0], pair[1]); got != 3e-2 { //lint:allow floateq model returns its parameter exactly
+			t.Errorf("Gate2(%v) = %g, want 3e-2", pair, got)
+		}
+	}
+	if got := h.Gate2(1, 2); got != 1e-3 { //lint:allow floateq model returns its parameter exactly
+		t.Errorf("Gate2(cold pair) = %g, want base rate", got)
+	}
+	if h.Meas(5) != 3e-2 || h.Meas(0) != 1e-3 { //lint:allow floateq model returns its parameter exactly
+		t.Error("Meas does not single out the hot qubit")
+	}
+	if h.Reset(5) != 3e-2 || h.Reset(0) != 1e-3 { //lint:allow floateq model returns its parameter exactly
+		t.Error("Reset does not single out the hot qubit")
+	}
+}

@@ -35,6 +35,29 @@ type Graph struct {
 	NumRounds  int
 	NodeRound  []int   // detector -> round (boundary node excluded)
 	RoundNodes [][]int // round -> detector indices, ascending
+	// NodeQubit maps each detector to the physical qubit whose measurement
+	// closed it (-1 unknown); nil when the source model carries no qubit
+	// attribution. Drift observability reads it through DetectorQubit to
+	// name the hardware qubit behind an anomalous detector fire rate.
+	NodeQubit []int
+}
+
+// DetectorQubit returns the physical qubit detector d is attributed to, or
+// -1 when the graph carries no qubit attribution or d is out of range.
+func (g *Graph) DetectorQubit(d int) int {
+	if d < 0 || d >= len(g.NodeQubit) {
+		return -1
+	}
+	return g.NodeQubit[d]
+}
+
+// DetectorRound returns the QEC round of detector d, or -1 when the graph
+// carries no round layering or d is out of range.
+func (g *Graph) DetectorRound(d int) int {
+	if d < 0 || d >= len(g.NodeRound) {
+		return -1
+	}
+	return g.NodeRound[d]
 }
 
 // Edge is one decoding-graph edge.
@@ -123,6 +146,9 @@ func BuildGraph(m *dem.Model) (*Graph, error) {
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if m.DetectorQubits != nil {
+		g.NodeQubit = append([]int(nil), m.DetectorQubits...)
 	}
 	if m.NumRounds > 0 {
 		g.NumRounds = m.NumRounds

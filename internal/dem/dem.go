@@ -40,6 +40,12 @@ type Model struct {
 	// round tracking; the decoder then falls back to whole-shot decoding.
 	NumRounds      int
 	DetectorRounds []int
+	// DetectorQubits maps each detector to the physical qubit whose
+	// measurement closed it (circuit.DetectorQubits), -1 when unknown; nil
+	// when the source circuit was not available. Drift observability uses
+	// it, via the decoding graph, to name the hardware qubit behind an
+	// anomalous detector.
+	DetectorQubits []int
 }
 
 // Validate checks the model's round map when present: length matching
@@ -47,6 +53,9 @@ type Model struct {
 // in detector order (the contract the windowed decoder's round splitter
 // relies on).
 func (m *Model) Validate() error {
+	if m.DetectorQubits != nil && len(m.DetectorQubits) != m.NumDetectors {
+		return fmt.Errorf("dem: %d detector qubits for %d detectors", len(m.DetectorQubits), m.NumDetectors)
+	}
 	if m.NumRounds == 0 && m.DetectorRounds == nil {
 		return nil
 	}
@@ -217,6 +226,7 @@ func (ex *extractor) run() (*Model, error) {
 		NumObs:         ex.c.NumObs,
 		NumRounds:      ex.c.NumRounds,
 		DetectorRounds: ex.c.DetectorRounds(),
+		DetectorQubits: ex.c.DetectorQubits(),
 	}
 	for _, k := range ex.order {
 		mech := ex.merged[k]

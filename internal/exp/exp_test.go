@@ -304,3 +304,30 @@ func TestDecodeCostShape(t *testing.T) {
 		t.Errorf("deformed decoding costs %.2fx pristine; paper claims minimal impact", r)
 	}
 }
+
+// TestDriftInjectShape is the drift-detection gate: injected drift must be
+// flagged within the detection budget with zero false positives on the
+// steady control. Deliberately NOT skipped under -short — it is the stream
+// observability layer's end-to-end CI check and sized to stay fast.
+func TestDriftInjectShape(t *testing.T) {
+	rep := run(t, "drift-inject")
+	if got := rep.Values["steady_false_positives"]; got != 0 {
+		t.Errorf("steady control produced %g drift events, want 0", got)
+	}
+	budget := rep.Values["detection_budget_windows"]
+	for _, scenario := range []string{"transient", "ramp"} {
+		if rep.Values[scenario+"_detected"] != 1 {
+			t.Errorf("%s drift never detected", scenario)
+			continue
+		}
+		if d := rep.Values[scenario+"_detect_windows"]; d < 1 || d > budget {
+			t.Errorf("%s detected after %g windows, budget is [1, %g]", scenario, d, budget)
+		}
+	}
+	if rep.Values["transient_qubit_hit"] != 1 {
+		t.Error("transient jump not attributed to the injected measure ancilla")
+	}
+	if rep.Values["ramp_flags_adjacent_checks"] != 1 {
+		t.Error("ramp flagged qubits outside the hot data qubit's check neighbourhood")
+	}
+}

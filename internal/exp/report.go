@@ -118,11 +118,12 @@ func All() map[string]Runner {
 		"routing":         RoutingParallelism,
 		"localize":        LocalizeDrift,
 		"decode-cost":     DecodeCost,
+		"drift-inject":    DriftInject,
 	}
 }
 
 // Order returns experiment IDs in presentation order.
 func Order() []string {
 	return []string{"fig1", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "fit", "cycle",
-		"ablate-decoder", "ablate-deltad", "ablate-priors", "ablate-schedule", "ablate-window", "routing", "localize", "decode-cost"}
+		"ablate-decoder", "ablate-deltad", "ablate-priors", "ablate-schedule", "ablate-window", "routing", "localize", "decode-cost", "drift-inject"}
 }

@@ -65,6 +65,19 @@ func (fd *FrameDecoder) NumObs() int { return fd.numObs }
 // trace header before decoding.
 func (fd *FrameDecoder) CircuitFingerprint() [16]byte { return fd.fp }
 
+// DetectorQubits returns a copy of the graph's detector→qubit attribution
+// (nil when the circuit carries none). Stream health monitoring uses it to
+// map a drifting detector back to the hardware qubit behind it.
+func (fd *FrameDecoder) DetectorQubits() []int {
+	return append([]int(nil), fd.ent.graph.NodeQubit...)
+}
+
+// DetectorRounds returns a copy of the graph's detector→round layering (nil
+// when the circuit carries no round structure).
+func (fd *FrameDecoder) DetectorRounds() []int {
+	return append([]int(nil), fd.ent.graph.NodeRound...)
+}
+
 // DecodeFrame decodes one frame: syndrome is the sorted list of fired
 // detectors, and the return value is the predicted observable flip mask
 // (masked to the circuit's observables), exactly as the evaluation loop

@@ -95,6 +95,18 @@ func (wd *WindowedFrameDecoder) Window() int { return wd.window }
 // CircuitFingerprint returns the content fingerprint of the prior circuit.
 func (wd *WindowedFrameDecoder) CircuitFingerprint() [16]byte { return wd.fp }
 
+// DetectorQubits returns a copy of the graph's detector→qubit attribution
+// (nil when the circuit carries none).
+func (wd *WindowedFrameDecoder) DetectorQubits() []int {
+	return append([]int(nil), wd.ent.graph.NodeQubit...)
+}
+
+// DetectorRounds returns a copy of the graph's detector→round layering (nil
+// when the circuit carries no round structure).
+func (wd *WindowedFrameDecoder) DetectorRounds() []int {
+	return append([]int(nil), wd.ent.graph.NodeRound...)
+}
+
 // SetRoundMetrics installs a per-round decode-latency histogram
 // (stream.decode.round.latency) in r; nil selects obs.Default. Call before
 // decoding starts.

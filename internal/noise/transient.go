@@ -1,0 +1,44 @@
+package noise
+
+// TransientJump models a temporary excursion on top of a calibrated rate:
+// the error rate sits at P0, jumps to PJump at T0 hours, and returns to P0
+// after Recover hours (Recover <= 0 means the jump never recovers — a
+// permanent step). TLS-coupling episodes and cosmic-ray-like bursts look
+// this way: no gradual trajectory, just a step up and (sometimes) back.
+// The drift-injection experiment uses it as the per-qubit ground truth for
+// transient-detection assertions.
+type TransientJump struct {
+	P0      float64 // rate outside the excursion
+	PJump   float64 // rate during the excursion
+	T0      float64 // hours after calibration the jump begins
+	Recover float64 // excursion duration in hours; <= 0 never recovers
+}
+
+var _ Law = TransientJump{}
+
+// At implements Law.
+func (j TransientJump) At(dt float64) float64 {
+	if dt < 0 {
+		dt = 0
+	}
+	if dt < j.T0 {
+		return j.P0
+	}
+	if j.Recover > 0 && dt >= j.T0+j.Recover {
+		return j.P0
+	}
+	return j.PJump
+}
+
+// TimeToReach implements Law. The trajectory is a step, so the target is
+// reached either immediately (pTar <= P0), at the jump (pTar <= PJump), or
+// never.
+func (j TransientJump) TimeToReach(pTar float64) float64 {
+	if pTar <= j.P0 {
+		return 0
+	}
+	if pTar <= j.PJump {
+		return j.T0
+	}
+	return 1e18 // effectively never
+}

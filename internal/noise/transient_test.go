@@ -1,0 +1,43 @@
+package noise
+
+import "testing"
+
+func TestTransientJumpAt(t *testing.T) {
+	j := TransientJump{P0: 1e-3, PJump: 1e-2, T0: 2, Recover: 1}
+	cases := []struct {
+		dt   float64
+		want float64
+	}{
+		{-1, 1e-3}, // clamped to calibration time
+		{0, 1e-3},
+		{1.9, 1e-3},
+		{2, 1e-2},   // jump begins
+		{2.5, 1e-2}, // inside the excursion
+		{3, 1e-3},   // recovered
+		{10, 1e-3},
+	}
+	for _, c := range cases {
+		if got := j.At(c.dt); got != c.want { //lint:allow floateq step law returns its parameters exactly
+			t.Errorf("At(%g) = %g, want %g", c.dt, got, c.want)
+		}
+	}
+
+	// Recover <= 0: permanent step.
+	perm := TransientJump{P0: 1e-3, PJump: 1e-2, T0: 2}
+	if got := perm.At(100); got != 1e-2 { //lint:allow floateq step law returns its parameters exactly
+		t.Errorf("permanent jump At(100) = %g, want 1e-2", got)
+	}
+}
+
+func TestTransientJumpTimeToReach(t *testing.T) {
+	j := TransientJump{P0: 1e-3, PJump: 1e-2, T0: 2, Recover: 1}
+	if got := j.TimeToReach(5e-4); got != 0 { //lint:allow floateq exact zero return
+		t.Errorf("TimeToReach(below P0) = %g, want 0", got)
+	}
+	if got := j.TimeToReach(5e-3); got != 2 { //lint:allow floateq exact T0 return
+		t.Errorf("TimeToReach(within jump) = %g, want T0", got)
+	}
+	if got := j.TimeToReach(0.5); got < 1e17 {
+		t.Errorf("TimeToReach(above PJump) = %g, want effectively never", got)
+	}
+}

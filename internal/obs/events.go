@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// EventSink is a bounded, drop-counting structured-event log: Emit marshals
+// an event to one JSON line and hands it to a background writer through a
+// fixed-capacity queue. Emit never blocks — when the writer cannot keep up
+// the event is dropped and counted instead, so an estimator hot path can
+// log through a slow disk or pipe without ever stalling frame decoding.
+// Dropping is the explicit, observable failure mode: Dropped() is exported
+// in health snapshots so a consumer knows its event series has gaps.
+//
+// All methods are safe for concurrent use and are no-ops on a nil receiver
+// (the disabled-sink idiom the rest of this package uses for nil handles).
+type EventSink struct {
+	mu     sync.RWMutex // guards jobs against Emit/Close races
+	w      io.Writer
+	jobs   chan []byte
+	done   chan struct{}
+	werr   error // first write error; written by run, read after done closes
+	closed bool
+
+	emitted atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewEventSink returns a sink writing JSON lines to w. capacity bounds the
+// pending-event queue (<= 0 selects 256). The caller must Close the sink to
+// flush and observe write errors.
+func NewEventSink(w io.Writer, capacity int) *EventSink {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	s := &EventSink{
+		w:    w,
+		jobs: make(chan []byte, capacity),
+		done: make(chan struct{}),
+	}
+	go s.run() //lint:allow bareloop the sink owns its writer goroutine; Close() drains the queue and joins it
+	return s
+}
+
+// run drains the queue onto the writer. After the first write error the
+// remaining events are consumed and dropped (counted), keeping Emit cheap
+// instead of backing the queue up behind a dead writer.
+func (s *EventSink) run() {
+	defer close(s.done)
+	for b := range s.jobs {
+		if s.werr != nil {
+			s.dropped.Add(1)
+			s.emitted.Add(-1)
+			continue
+		}
+		if _, err := s.w.Write(b); err != nil {
+			s.werr = err
+			s.dropped.Add(1)
+			s.emitted.Add(-1)
+		}
+	}
+}
+
+// Emit serializes v as one JSON line and enqueues it. It reports false —
+// and counts a drop — when the sink is nil, closed, the value does not
+// marshal, or the queue is full.
+func (s *EventSink) Emit(v any) bool {
+	if s == nil {
+		return false
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.dropped.Add(1)
+		return false
+	}
+	b = append(b, '\n')
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.dropped.Add(1)
+		return false
+	}
+	select {
+	case s.jobs <- b:
+		s.emitted.Add(1)
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Emitted returns how many events were accepted and written (or are still
+// queued). 0 on nil.
+func (s *EventSink) Emitted() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.emitted.Load()
+}
+
+// Dropped returns how many events were lost: queue overflow, marshal
+// failure, post-close emits, or write errors. 0 on nil.
+func (s *EventSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close drains the queue, stops the writer and returns the first write
+// error. Safe to call more than once; later Emits count as drops. No-op on
+// nil.
+func (s *EventSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	if !already {
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.werr
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventSinkWritesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf, 16)
+	type ev struct {
+		Kind string `json:"kind"`
+		N    int    `json:"n"`
+	}
+	for i := 0; i < 5; i++ {
+		if !s.Emit(ev{Kind: "test", N: i}) {
+			t.Fatalf("emit %d rejected", i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Emitted() != 5 || s.Dropped() != 0 {
+		t.Fatalf("emitted=%d dropped=%d", s.Emitted(), s.Dropped())
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var e ev
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if e.N != n {
+			t.Fatalf("line %d carries n=%d: events reordered", n, e.N)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("%d lines, want 5", n)
+	}
+}
+
+// blockingWriter blocks every Write until released, simulating a stalled
+// consumer.
+type blockingWriter struct {
+	release chan struct{}
+	wrote   chan struct{}
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.wrote <- struct{}{}
+	<-w.release
+	return len(p), nil
+}
+
+func TestEventSinkDropsWhenFull(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{}), wrote: make(chan struct{}, 64)}
+	s := NewEventSink(w, 2)
+	// First emit is picked up by the writer and blocks there; wait for it so
+	// the queue state below is deterministic.
+	if !s.Emit("a") {
+		t.Fatal("first emit rejected")
+	}
+	<-w.wrote
+	// Two more fill the queue; the next must drop.
+	if !s.Emit("b") || !s.Emit("c") {
+		t.Fatal("queue-filling emits rejected")
+	}
+	if s.Emit("d") {
+		t.Fatal("emit accepted on a full queue")
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped=%d, want 1", s.Dropped())
+	}
+	close(w.release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Emitted() != 3 {
+		t.Fatalf("emitted=%d, want 3", s.Emitted())
+	}
+}
+
+func TestEventSinkEmitAfterCloseDrops(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf, 4)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Emit("late") {
+		t.Fatal("emit accepted after close")
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped=%d, want 1", s.Dropped())
+	}
+	// Double close is safe.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventSinkUnmarshalableDrops(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf, 4)
+	defer s.Close()
+	if s.Emit(func() {}) {
+		t.Fatal("unmarshalable value accepted")
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped=%d, want 1", s.Dropped())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, fmt.Errorf("disk full")
+}
+
+func TestEventSinkWriteErrorSurfacesOnClose(t *testing.T) {
+	s := NewEventSink(&failWriter{}, 4)
+	s.Emit("x")
+	s.Emit("y")
+	err := s.Close()
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close() = %v, want the write error", err)
+	}
+	if s.Emitted() != 0 {
+		t.Fatalf("emitted=%d after total write failure, want 0", s.Emitted())
+	}
+	if s.Dropped() != 2 {
+		t.Fatalf("dropped=%d, want 2", s.Dropped())
+	}
+}
+
+func TestEventSinkConcurrentEmitClose(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Emit(i) // must never panic, even racing Close
+			}
+		}()
+	}
+	s.Close()
+	wg.Wait()
+	if got := s.Emitted() + s.Dropped(); got != 400 {
+		t.Fatalf("emitted+dropped = %d, want 400", got)
+	}
+}
+
+func TestEventSinkNilSafe(t *testing.T) {
+	var s *EventSink
+	if s.Emit("x") {
+		t.Error("nil sink accepted an emit")
+	}
+	if s.Dropped() != 0 || s.Emitted() != 0 {
+		t.Error("nil sink counters non-zero")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

@@ -31,6 +31,10 @@ type PipelineOptions struct {
 	// Metrics selects the registry per-stream metrics land in; nil selects
 	// obs.Default, obs.Discard disables them.
 	Metrics *obs.Registry
+	// Estimator configures drift monitoring over the decoded frames; the
+	// zero value (Window 0) disables it and the pipeline runs exactly as
+	// before.
+	Estimator EstimatorConfig
 }
 
 func (opt PipelineOptions) workers() int {
@@ -56,6 +60,9 @@ type Stats struct {
 	// Truncated reports the stream ended early but every delivered frame
 	// was intact (the ErrTruncated recovery path).
 	Truncated bool
+	// DriftEvents is the number of drift events the estimator monitor
+	// generated; always 0 when monitoring is disabled.
+	DriftEvents int64
 }
 
 // pipelineMetrics holds the per-stream metric handles, resolved once per
@@ -111,7 +118,16 @@ func Replay(ctx context.Context, r *Reader, scorer FrameScorer, opt PipelineOpti
 	defer span.End()
 	span.SetAttr("detectors", r.Header().NumDetectors)
 
+	// The drift monitor observes every scored frame, keyed by the frame's
+	// stream position so its windows are identical across worker counts.
+	var mon *Monitor
+	if opt.Estimator.Window > 0 {
+		mon = NewMonitor(opt.Estimator, scorer, r.Header(), m.registry)
+		opt.Estimator.Health.Register(mon)
+	}
+
 	type job struct {
+		idx    int64
 		packed []byte
 		obs    uint64
 	}
@@ -126,6 +142,7 @@ func Replay(ctx context.Context, r *Reader, scorer FrameScorer, opt PipelineOpti
 	go func() {
 		defer close(jobs)
 		var f Frame
+		var idx int64
 		for {
 			if err := ctx.Err(); err != nil {
 				readErr = err
@@ -142,7 +159,8 @@ func Replay(ctx context.Context, r *Reader, scorer FrameScorer, opt PipelineOpti
 			buf := bufs.Get().([]byte)
 			copy(buf, f.Packed)
 			select {
-			case jobs <- job{packed: buf, obs: f.Obs}:
+			case jobs <- job{idx: idx, packed: buf, obs: f.Obs}:
+				idx++
 				m.queueDepth.Set(float64(len(jobs)))
 			case <-ctx.Done():
 				readErr = ctx.Err()
@@ -165,15 +183,18 @@ func Replay(ctx context.Context, r *Reader, scorer FrameScorer, opt PipelineOpti
 			for j := range jobs {
 				f := Frame{Obs: j.obs, Packed: j.packed}
 				syn = f.Syndrome(syn[:0])
+				var failed bool
 				if m.latency != nil {
 					start := m.registry.Now()
-					if scorer.ScoreFrame(syn, j.obs) {
-						failures++
-					}
+					failed = scorer.ScoreFrame(syn, j.obs)
 					m.latency.Observe(m.registry.Now().Sub(start).Nanoseconds())
-				} else if scorer.ScoreFrame(syn, j.obs) {
+				} else {
+					failed = scorer.ScoreFrame(syn, j.obs)
+				}
+				if failed {
 					failures++
 				}
+				mon.Observe(j.idx, syn, failed)
 				frames++
 				bufs.Put(j.packed)
 			}
@@ -190,6 +211,13 @@ func Replay(ctx context.Context, r *Reader, scorer FrameScorer, opt PipelineOpti
 	m.replays.Inc()
 	span.SetAttr("frames", totals.Frames)
 	span.SetAttr("failures", totals.Failures)
+	if mon != nil {
+		totals.DriftEvents = mon.Events()
+		if totals.DriftEvents > 0 {
+			span.Event("drift")
+			span.SetAttr("drift_events", totals.DriftEvents)
+		}
+	}
 
 	switch {
 	case readErr == nil:

@@ -19,6 +19,11 @@ type Summary struct {
 	LER       float64 `json:"ler"`
 	Truncated bool    `json:"truncated,omitempty"`
 	Error     string  `json:"error,omitempty"`
+	// Stream is the server-assigned stream name ("conn-N") when drift
+	// monitoring is on; look it up under /health/stream/<Stream>.
+	Stream string `json:"stream,omitempty"`
+	// DriftEvents counts the drift events the stream's monitor generated.
+	DriftEvents int64 `json:"drift_events,omitempty"`
 }
 
 // Catalog maps circuit fingerprints to frame scorers: the server's view of
@@ -91,8 +96,12 @@ type Server struct {
 	opt     PipelineOptions
 
 	metrics serverMetrics
+	connSeq atomic.Int64 // stream name sequence for drift monitoring
 }
 
+// serverMetrics bundles the server's handles into the shared obs.Registry
+// (the one PipelineOptions.Metrics selects), so a /metrics scrape of that
+// registry reflects live connection state — not a private copy.
 type serverMetrics struct {
 	conns    *obs.Counter // stream.server.conns: connections accepted
 	active   *obs.Gauge   // stream.server.active: streams being decoded now
@@ -103,22 +112,38 @@ type serverMetrics struct {
 	activeN atomic.Int64
 }
 
-// NewServer returns a server resolving incoming streams through resolve
-// (typically Catalog.Resolve) and decoding them with opt. Metrics land in
-// opt.Metrics.
-func NewServer(resolve func(Header) (FrameScorer, error), opt PipelineOptions) *Server {
-	reg := opt.Metrics
+// newServerMetrics resolves the server's handles in reg (nil selects
+// obs.Default, obs.Discard disables them).
+func newServerMetrics(reg *obs.Registry) serverMetrics {
 	if reg == nil {
 		reg = obs.Default
 	}
+	return serverMetrics{
+		conns:    reg.Counter("stream.server.conns"),
+		active:   reg.Gauge("stream.server.active"),
+		rejected: reg.Counter("stream.server.rejected"),
+	}
+}
+
+// connStarted records a connection entering decode and publishes the new
+// active count; the returned func records it leaving.
+func (m *serverMetrics) connStarted() (done func()) {
+	m.active.Set(float64(m.activeN.Add(1)))
+	return func() { m.active.Set(float64(m.activeN.Add(-1))) }
+}
+
+// NewServer returns a server resolving incoming streams through resolve
+// (typically Catalog.Resolve) and decoding them with opt. Metrics land in
+// opt.Metrics. When opt.Estimator.Window > 0 every connection gets its own
+// drift monitor under a server-assigned stream name ("conn-1", "conn-2",
+// ...), registered in opt.Estimator.Health when set; note each name adds a
+// stream.drift.qubits.<name> gauge to the registry, so a long-lived server
+// with monitoring on accumulates one gauge per connection.
+func NewServer(resolve func(Header) (FrameScorer, error), opt PipelineOptions) *Server {
 	return &Server{
 		resolve: resolve,
 		opt:     opt,
-		metrics: serverMetrics{
-			conns:    reg.Counter("stream.server.conns"),
-			active:   reg.Gauge("stream.server.active"),
-			rejected: reg.Counter("stream.server.rejected"),
-		},
+		metrics: newServerMetrics(opt.Metrics),
 	}
 }
 
@@ -163,8 +188,8 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	ctx, span := obs.StartSpan(ctx, "stream.serve_conn")
 	defer span.End()
 
-	s.metrics.active.Set(float64(s.metrics.activeN.Add(1)))
-	defer func() { s.metrics.active.Set(float64(s.metrics.activeN.Add(-1))) }()
+	done := s.metrics.connStarted()
+	defer done()
 
 	r, err := NewReader(conn)
 	if err != nil {
@@ -180,8 +205,16 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		writeSummary(conn, Summary{Error: err.Error()})
 		return
 	}
-	stats, rerr := Replay(ctx, r, scorer, s.opt)
+	opt := s.opt
+	if opt.Estimator.Window > 0 {
+		opt.Estimator.Stream = fmt.Sprintf("conn-%d", s.connSeq.Add(1))
+	}
+	stats, rerr := Replay(ctx, r, scorer, opt)
 	sum := Summary{Frames: stats.Frames, Failures: stats.Failures, Truncated: stats.Truncated}
+	if opt.Estimator.Window > 0 {
+		sum.Stream = opt.Estimator.Stream
+		sum.DriftEvents = stats.DriftEvents
+	}
 	if stats.Frames > 0 {
 		sum.LER = float64(stats.Failures) / float64(stats.Frames)
 	}

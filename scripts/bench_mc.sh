@@ -12,7 +12,7 @@
 #     noise) plus the allocation budget: batch-warm allocs/op must not
 #     exceed sequential-warm allocs/op.
 #
-# It then runs the stream replay suite into BENCH_stream.json with two
+# It then runs the stream replay suite into BENCH_stream.json with three
 # guards of its own:
 #
 #   - the stream.Replay worker pipeline must not regress below the
@@ -25,6 +25,11 @@
 #     100µs — the bounded-latency budget of the streaming decode path.
 #     Measured values sit around 5µs; the 20x headroom absorbs slow CI
 #     runners without letting an O(rounds) regression through.
+#   - the drift estimator (BenchmarkStreamReplay/estimator vs /pipeline)
+#     may cost replay throughput at most 5% on multi-core runners (15% on
+#     a single core, where pipeline ns/op is channel-hop-dominated and
+#     noisy). Measured overhead sits around 2-3%: the estimator's
+#     per-frame work is one mutex hop plus integer bucket updates.
 #
 # CI runs this on every push; the committed BENCH_mc.json/BENCH_stream.json
 # are the trajectory points for the checked-out commit.
@@ -161,6 +166,20 @@ END {
         }
     } else {
         printf "FAIL: windowed round_p99_ns missing from benchmark output\n" > "/dev/stderr"
+        fail = 1
+    }
+    est = ns["estimator"]
+    if (est > 0 && pipe > 0) {
+        ratio = est / pipe
+        cap = (cores >= 2 ? 1.05 : 1.15)
+        printf ",\n  \"estimator_overhead_ratio\": %.4f", ratio
+        printf ",\n  \"estimator_overhead_cap\": %.2f", cap
+        if (ratio > cap) {
+            printf "FAIL: drift estimator costs %.1f%% of replay throughput, over the %.0f%% budget (%d cores)\n", (ratio-1)*100, (cap-1)*100, cores > "/dev/stderr"
+            fail = 1
+        }
+    } else {
+        printf "FAIL: StreamReplay/estimator result missing from benchmark output\n" > "/dev/stderr"
         fail = 1
     }
     printf "\n}\n"
