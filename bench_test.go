@@ -141,8 +141,8 @@ func BenchmarkUnionFindDecode(b *testing.B) {
 	fs.Sample(640, func(res sim.BatchResult) {
 		for s := 0; s < res.Shots; s++ {
 			var syn []int
-			for di, w := range res.Detectors {
-				if w>>uint(s)&1 == 1 {
+			for di := range res.Detectors {
+				if res.Detectors[di][s/64]>>uint(s%64)&1 == 1 {
 					syn = append(syn, di)
 				}
 			}

@@ -7,6 +7,7 @@ import (
 	"caliqec/internal/rng"
 	"caliqec/internal/sim"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -23,9 +24,10 @@ func DetectorRates(c *circuit.Circuit, shots int, r *rng.RNG) []float64 {
 	counts := make([]int, c.NumDetectors)
 	fs := sim.NewFrameSimulator(c, r)
 	fs.Sample(shots, func(b sim.BatchResult) {
-		for d, w := range b.Detectors {
-			for x := w; x != 0; x &= x - 1 {
-				counts[d]++
+		for d := range b.Detectors {
+			l := &b.Detectors[d]
+			for w := 0; w < sim.LaneWords; w++ {
+				counts[d] += bits.OnesCount64(l[w])
 			}
 		}
 	})

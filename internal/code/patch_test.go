@@ -143,13 +143,13 @@ func TestFrameNoiselessAllZero(t *testing.T) {
 	}
 	fs := sim.NewFrameSimulator(c, rng.New(1))
 	fs.Sample(128, func(b sim.BatchResult) {
-		for i, w := range b.Detectors {
-			if w != 0 {
+		for i, l := range b.Detectors {
+			if l != (sim.Lane{}) {
 				t.Fatalf("detector %d flipped with zero noise", i)
 			}
 		}
-		for _, w := range b.Observables {
-			if w != 0 {
+		for _, l := range b.Observables {
+			if l != (sim.Lane{}) {
 				t.Fatal("observable flipped with zero noise")
 			}
 		}

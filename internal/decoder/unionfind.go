@@ -1,14 +1,28 @@
 package decoder
 
+import "sort"
+
 // UnionFind is a weighted union-find decoder (Delfosse–Nickerson). Clusters
 // grow from syndrome defects in integer weight units; when the grown regions
 // of two endpoints cover an edge, their clusters merge. Growth stops when
 // every cluster is neutral (even defect count or touching the boundary).
 // A spanning-forest peeling pass then extracts the correction.
+//
+// Scratch state is kept pristine between calls instead of being reset at
+// the start of every decode: each decode tracks exactly the nodes and edges
+// it dirties (syndrome defects, absorbed endpoints, partially grown edges —
+// O(cluster) of them, typically a handful) and restores them before
+// returning, so per-shot cost scales with the syndrome instead of with
+// graph size. At realistic error rates most shots fire a few detectors out
+// of hundreds, making this the difference between O(defects) and O(V+E)
+// per shot.
 type UnionFind struct {
 	g *Graph
 
-	// Scratch state reused across Decode calls.
+	// Scratch state, pristine between Decode calls. Pristine means:
+	// parent[i]=i, rank/parity 0, hasBnd only at the boundary node,
+	// defect/isRoot/added/visited/carry all false, parentEdge -1, every
+	// frontier list empty, every edge's grow 0 and grown false.
 	parent  []int
 	rank    []int
 	parity  []int  // defects mod 2 per cluster root
@@ -30,11 +44,20 @@ type UnionFind struct {
 	act      []int  // active roots this growth round
 	satur    []int  // edges saturated this growth round
 
+	// Dirty tracking: the nodes (excluding the boundary, which is handled
+	// unconditionally) and edges this decode has touched and must restore.
+	// dirty is exactly the added-marked node set — every node that can
+	// receive a union/find/frontier write is either a defect or an absorbed
+	// endpoint, and both are added-marked before the write.
+	dirty     []int
+	grownList []int // edges with grow > 0, pushed on the 0→1 transition
+
 	// Peeling scratch.
 	parentEdge []int
 	order      []int
 	stack      []int
 	carry      []bool
+	peelNodes  []int // sorted copy of dirty: ascending spanning-forest roots
 	chosen     []int // edge indices of the correction extracted by peel
 
 	// Active round window [winLo, winHi): edges whose round span falls
@@ -46,7 +69,7 @@ type UnionFind struct {
 // NewUnionFind returns a union-find decoder over g.
 func NewUnionFind(g *Graph) *UnionFind {
 	n := g.NumDetectors + 1
-	return &UnionFind{
+	u := &UnionFind{
 		g:          g,
 		parent:     make([]int, n),
 		rank:       make([]int, n),
@@ -62,6 +85,13 @@ func NewUnionFind(g *Graph) *UnionFind {
 		parentEdge: make([]int, n),
 		carry:      make([]bool, n),
 	}
+	// Establish the pristine invariant once; decode restores it on exit.
+	for i := 0; i < n; i++ {
+		u.parent[i] = i
+		u.parentEdge[i] = -1
+	}
+	u.hasBnd[g.Boundary] = true
+	return u
 }
 
 func (u *UnionFind) find(v int) int {
@@ -117,6 +147,15 @@ func (u *UnionFind) DecodeWindow(syndrome []int, lo, hi int, chosen []int) (uint
 	return obs, append(chosen, u.chosen...)
 }
 
+// markDirty records v as touched this decode. Every node a decode writes to
+// — defects at setup, endpoints absorbed during growth — passes through
+// here exactly once (guarded by the added flag), except the boundary node,
+// which restore() resets unconditionally.
+func (u *UnionFind) markDirty(v int) {
+	u.added[v] = true
+	u.dirty = append(u.dirty, v)
+}
+
 func (u *UnionFind) decode(syndrome []int, lo, hi int) uint64 {
 	u.chosen = u.chosen[:0]
 	if len(syndrome) == 0 {
@@ -124,31 +163,17 @@ func (u *UnionFind) decode(syndrome []int, lo, hi int) uint64 {
 	}
 	u.winLo, u.winHi = lo, hi
 	g := u.g
-	n := g.NumDetectors + 1
-	// Reset scratch state (touched nodes/edges only would be faster; a full
-	// reset is simple and still linear in graph size).
-	for i := 0; i < n; i++ {
-		u.parent[i] = i
-		u.rank[i] = 0
-		u.parity[i] = 0
-		u.hasBnd[i] = false
-		u.defect[i] = false
-		u.isRoot[i] = false
-		u.added[i] = false
-		u.frontier[i] = u.frontier[i][:0]
-	}
-	for i := range u.grow {
-		u.grow[i] = 0
-		u.grown[i] = false
-	}
-	u.hasBnd[g.Boundary] = true
+	u.dirty = u.dirty[:0]
+	u.grownList = u.grownList[:0]
 
 	u.rootList = u.rootList[:0]
 	for _, d := range syndrome {
 		u.defect[d] = true
 		u.parity[d] = 1
 		u.frontier[d] = append(u.frontier[d], g.Adj[d]...)
-		u.added[d] = true
+		if !u.added[d] {
+			u.markDirty(d)
+		}
 		if !u.isRoot[d] {
 			u.isRoot[d] = true
 			u.rootList = append(u.rootList, d)
@@ -201,6 +226,9 @@ func (u *UnionFind) decode(syndrome []int, lo, hi int) uint64 {
 				if ru == rv {
 					continue // internal edge, drop
 				}
+				if u.grow[ei] == 0 {
+					u.grownList = append(u.grownList, ei)
+				}
 				u.grow[ei]++
 				progress = true
 				if u.grow[ei] >= e.WInt {
@@ -225,7 +253,7 @@ func (u *UnionFind) decode(syndrome []int, lo, hi int) uint64 {
 			// the merged cluster's frontier (the boundary node never grows).
 			for _, v := range [2]int{e.U, e.V} {
 				if !u.added[v] && v != g.Boundary {
-					u.added[v] = true
+					u.markDirty(v)
 					r := u.find(v)
 					u.frontier[r] = append(u.frontier[r], g.Adj[v]...)
 				}
@@ -242,7 +270,35 @@ func (u *UnionFind) decode(syndrome []int, lo, hi int) uint64 {
 			}
 		}
 	}
-	return u.peel()
+	obs := u.peel()
+	u.restore()
+	return obs
+}
+
+// restore re-establishes the pristine invariant over exactly the state this
+// decode dirtied: the tracked node set, the boundary node (which union,
+// frontier concatenation and peel may touch without an added mark), and the
+// partially or fully grown edges.
+func (u *UnionFind) restore() {
+	for _, v := range u.dirty {
+		u.resetNode(v)
+	}
+	u.resetNode(u.g.Boundary)
+	for _, ei := range u.grownList {
+		u.grow[ei] = 0
+		u.grown[ei] = false
+	}
+}
+
+func (u *UnionFind) resetNode(v int) {
+	u.parent[v] = v
+	u.rank[v] = 0
+	u.parity[v] = 0
+	u.hasBnd[v] = v == u.g.Boundary
+	u.defect[v] = false
+	u.isRoot[v] = false
+	u.added[v] = false
+	u.frontier[v] = u.frontier[v][:0]
 }
 
 // peel extracts the correction from the grown-edge forest: build a spanning
@@ -251,15 +307,17 @@ func (u *UnionFind) decode(syndrome []int, lo, hi int) uint64 {
 // carries a defect.
 func (u *UnionFind) peel() uint64 {
 	g := u.g
-	n := g.NumDetectors + 1
 	// Build spanning forest over grown edges (struct scratch: peel runs
 	// once per Decode, and per-shot allocations dominate batch decoding).
+	// Every cluster node — defect or absorbed endpoint — is in the dirty
+	// list; visiting the candidates in ascending node order makes each
+	// component's forest root the smallest unvisited member, exactly the
+	// root the old 0..n-1 scan over all nodes selected, so the extracted
+	// correction is bit-identical.
 	parentEdge := u.parentEdge
 	order := u.order[:0]
-	for i := range parentEdge {
-		parentEdge[i] = -1
-		u.visited[i] = false
-	}
+	u.peelNodes = append(u.peelNodes[:0], u.dirty...)
+	sort.Ints(u.peelNodes)
 	stack := u.stack[:0]
 	pushRoot := func(v int) {
 		u.visited[v] = true
@@ -287,17 +345,22 @@ func (u *UnionFind) peel() uint64 {
 	}
 	// Root at the boundary first so defects can discharge into it.
 	pushRoot(g.Boundary)
-	for v := 0; v < n; v++ {
+	for _, v := range u.peelNodes {
 		if !u.visited[v] {
 			pushRoot(v)
 		}
 	}
 	u.order = order
 	u.stack = stack
-	// Peel in reverse DFS order (children before parents).
+	// Peel in reverse DFS order (children before parents). carry is
+	// pristine false everywhere; seed it with the defect bits of the nodes
+	// actually in the forest (order covers every dirty node plus the
+	// boundary, and only dirty nodes can be defects).
 	var obs uint64
 	carry := u.carry
-	copy(carry, u.defect)
+	for _, v := range order {
+		carry[v] = u.defect[v]
+	}
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		ei := parentEdge[v]
@@ -315,6 +378,12 @@ func (u *UnionFind) peel() uint64 {
 			obs ^= e.ObsMask
 			u.chosen = append(u.chosen, ei)
 		}
+	}
+	// Restore peel scratch to pristine for the nodes this forest visited.
+	for _, v := range order {
+		parentEdge[v] = -1
+		u.visited[v] = false
+		carry[v] = false
 	}
 	return obs
 }

@@ -53,6 +53,41 @@ func Fingerprint(c *circuit.Circuit) [16]byte {
 	return fp
 }
 
+// fpMemo caches fingerprints by circuit pointer identity. Circuits are
+// immutable once built (the builder is the only writer, and the simulator
+// pool already relies on pointer identity meaning "same compiled program"),
+// so a pointer seen before hashes to the same fingerprint — which turns the
+// per-Evaluate rehash of a warm sweep's unchanged prior (a measurable
+// fraction of warm evaluation time) into one map lookup. Bounded: at
+// fpMemoMax entries the map is dropped wholesale, which also releases the
+// circuit pointers it keeps alive.
+var fpMemo struct {
+	sync.Mutex
+	m map[*circuit.Circuit]fingerprint
+}
+
+const fpMemoMax = 1024
+
+// fingerprintOf is Fingerprint memoized by pointer identity.
+func fingerprintOf(c *circuit.Circuit) fingerprint {
+	fpMemo.Lock()
+	if fp, ok := fpMemo.m[c]; ok {
+		fpMemo.Unlock()
+		return fp
+	}
+	fpMemo.Unlock()
+	// Hash outside the lock; concurrent misses on one circuit hash twice
+	// but agree on the result.
+	fp := Fingerprint(c)
+	fpMemo.Lock()
+	if fpMemo.m == nil || len(fpMemo.m) >= fpMemoMax {
+		fpMemo.m = make(map[*circuit.Circuit]fingerprint, 64)
+	}
+	fpMemo.m[c] = fp
+	fpMemo.Unlock()
+	return fp
+}
+
 // cacheEntry holds everything derivable from one prior circuit: its DEM,
 // the decoding graph, a pool of reusable decoder instances per kind
 // (decoders carry scratch state, so one instance serves one worker at a
@@ -136,7 +171,12 @@ func (ent *cacheEntry) putSim(fs *sim.FrameSimulator) {
 // entryFor returns the cached DEM+graph for prior, building and inserting
 // it on a miss (LRU eviction beyond the configured size).
 func (e *Engine) entryFor(prior *circuit.Circuit) (*cacheEntry, error) {
-	fp := Fingerprint(prior)
+	return e.entryForFP(fingerprintOf(prior), prior)
+}
+
+// entryForFP is entryFor with the fingerprint already computed, so callers
+// that needed it anyway (batch dedup) do not hash twice.
+func (e *Engine) entryForFP(fp fingerprint, prior *circuit.Circuit) (*cacheEntry, error) {
 	e.mu.Lock()
 	if ent, ok := e.cache[fp]; ok {
 		e.hits++

@@ -9,7 +9,7 @@
 // that used to be copy-pasted across internal/decoder:
 //
 //   - Cancellation. Evaluate takes a context.Context and aborts an
-//     in-flight evaluation between 64-shot batches, so long sweeps
+//     in-flight evaluation between sampler batches, so long sweeps
 //     (Table 2 fits, repro runs, benchmarks) stop promptly on Ctrl-C or
 //     deadline.
 //   - Caching. DEM extraction and decoding-graph construction are cached
@@ -53,7 +53,8 @@ import (
 
 // ChunkShots is the shot-shard size: the unit of work a worker claims, the
 // granularity of early-stop decisions and of progress reports. A multiple
-// of 64 so every chunk runs whole frame-simulator batches. Exported so
+// of sim.LaneShots so every chunk runs whole frame-simulator batches.
+// Exported so
 // internal/stream's record path shards its shot stream identically (see
 // SampleChunks).
 const ChunkShots = 1024
@@ -367,7 +368,7 @@ func (e *Engine) Evaluate(ctx context.Context, spec Spec) (Result, error) {
 
 // EvaluateBatch evaluates every spec over one shared chunk scheduler: a
 // single worker pool (sized at the maximum of the specs' Workers settings)
-// interleaves chunks from all specs round-robin, so short specs do not
+// claims chunk spans from all specs in rotation, so short specs do not
 // serialize behind long ones and the pool never idles while any spec has
 // work. Cache entries for distinct priors are built concurrently before
 // sampling starts.
@@ -454,7 +455,7 @@ func (e *Engine) buildEntries(states []*evalState) error {
 		index = make([]*build, len(states))
 	)
 	for i, st := range states {
-		fp := Fingerprint(st.prior)
+		fp := fingerprintOf(st.prior)
 		b, ok := byFP[fp]
 		if !ok {
 			b = &build{fp: fp, st: st}
@@ -464,7 +465,7 @@ func (e *Engine) buildEntries(states []*evalState) error {
 		index[i] = b
 	}
 	if len(uniq) == 1 {
-		ent, err := e.entryFor(uniq[0].st.prior)
+		ent, err := e.entryForFP(uniq[0].fp, uniq[0].st.prior)
 		if err != nil {
 			return err
 		}
@@ -476,7 +477,7 @@ func (e *Engine) buildEntries(states []*evalState) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				b.ent, b.err = e.entryFor(b.st.prior)
+				b.ent, b.err = e.entryForFP(b.fp, b.st.prior)
 			}()
 		}
 		wg.Wait()
@@ -492,11 +493,12 @@ func (e *Engine) buildEntries(states []*evalState) error {
 	return nil
 }
 
-// runStates is the shared chunk scheduler. One worker pool claims chunks
-// round-robin across states; each completed chunk is committed into its
-// state's in-order prefix, where early-stop criteria are applied exactly as
-// in a standalone evaluation. A state's done channel closes the moment its
-// prefix is final, under the same critical section that wrote its totals.
+// runStates is the shared chunk scheduler. One worker pool claims spans of
+// consecutive chunks, rotating across states; each completed chunk is
+// committed into its state's in-order prefix, where early-stop criteria are
+// applied exactly as in a standalone evaluation. A state's done channel
+// closes the moment its prefix is final, under the same critical section
+// that wrote its totals.
 func (e *Engine) runStates(ctx context.Context, states []*evalState) error {
 	totalChunks := 0
 	workers := 0
@@ -520,20 +522,32 @@ func (e *Engine) runStates(ctx context.Context, states []*evalState) error {
 		busy    int
 		evalErr error
 	)
-	// claimLocked picks the next needed chunk, rotating across states so
-	// every spec makes progress and committed prefixes advance evenly.
-	// Called with mu held.
-	claimLocked := func() (*evalState, int) {
+	// claimLocked picks the next needed span: a run of consecutive chunks
+	// from one state, sized to divide that state's remaining chunks evenly
+	// over the pool (ceil(remaining/workers), so all workers can still share
+	// one large spec). Rotating across states keeps every spec progressing;
+	// handing a worker a span rather than a single chunk keeps it on one
+	// spec's circuit, graph and decoder long enough for its caches to stay
+	// warm instead of interleaving structurally distinct specs every 1024
+	// shots — the source of the old batch-warm > sequential-warm regression.
+	// Chunks are still committed (and early-stop applied) one at a time, and
+	// a worker abandons the rest of its span the moment stopAt drops below
+	// it, so early-stopped results are unchanged. Called with mu held.
+	claimLocked := func() (*evalState, int, int) {
 		for k := 0; k < len(states); k++ {
 			st := states[(cursor+k)%len(states)]
 			if st.next < st.stopAt {
-				i := st.next
-				st.next++
+				lo := st.next
+				hi := lo + (st.stopAt-lo+workers-1)/workers
+				if hi > st.stopAt {
+					hi = st.stopAt
+				}
+				st.next = hi
 				cursor = (cursor + k + 1) % len(states)
-				return st, i
+				return st, lo, hi
 			}
 		}
-		return nil, 0
+		return nil, 0, 0
 	}
 
 	var wg sync.WaitGroup
@@ -547,57 +561,68 @@ func (e *Engine) runStates(ctx context.Context, states []*evalState) error {
 					mu.Unlock()
 					return
 				}
-				st, i := claimLocked()
+				st, i, hi := claimLocked()
 				if st == nil {
 					mu.Unlock()
 					return
 				}
+				// The occupancy gauge tracks span claims (not individual
+				// chunks): one update pair per span keeps the gauge off the
+				// per-chunk critical path.
 				busy++
 				e.metrics.occupancy.Set(float64(busy) / float64(workers))
 				mu.Unlock()
 
-				n := ChunkShots
-				if rem := st.spec.Shots - i*ChunkShots; rem < n {
-					n = rem
-				}
-				fails, cerr := e.runChunk(ctx, st.spec.Circuit, st.ent, st.spec.Decoder, n, st.seeds[i])
+				for more := true; more; {
+					n := ChunkShots
+					if rem := st.spec.Shots - i*ChunkShots; rem < n {
+						n = rem
+					}
+					fails, cerr := e.runChunk(ctx, st.spec.Circuit, st.ent, st.spec.Decoder, n, st.seeds[i])
 
-				mu.Lock()
-				busy--
-				e.metrics.occupancy.Set(float64(busy) / float64(workers))
-				if cerr != nil {
-					if evalErr == nil {
-						evalErr = cerr
+					mu.Lock()
+					if cerr != nil {
+						busy--
+						e.metrics.occupancy.Set(float64(busy) / float64(workers))
+						if evalErr == nil {
+							evalErr = cerr
+						}
+						mu.Unlock()
+						return
+					}
+					st.chunks[i] = chunkState{failures: fails, shots: n, done: true}
+					// Advance the committed prefix in chunk order and apply the
+					// early-stop criteria at each step: the first prefix that
+					// satisfies them is the same no matter which worker finished
+					// which chunk — or which other specs share the scheduler —
+					// which keeps early-stopped results exactly reproducible for
+					// a fixed seed.
+					progressed := false
+					for st.committed < st.stopAt && st.chunks[st.committed].done {
+						st.accShots += st.chunks[st.committed].shots
+						st.accFails += st.chunks[st.committed].failures
+						st.committed++
+						progressed = true
+						if st.spec.stopSatisfied(st.accShots, st.accFails) {
+							st.stopAt = st.committed
+							st.stopped = true
+							break
+						}
+					}
+					snapShots, snapFails := st.accShots, st.accFails
+					if st.committed >= st.stopAt {
+						st.closeDone() // totals are final; written under mu just above
+					}
+					i++
+					more = i < hi && i < st.stopAt && evalErr == nil
+					if !more {
+						busy--
+						e.metrics.occupancy.Set(float64(busy) / float64(workers))
 					}
 					mu.Unlock()
-					return
-				}
-				st.chunks[i] = chunkState{failures: fails, shots: n, done: true}
-				// Advance the committed prefix in chunk order and apply the
-				// early-stop criteria at each step: the first prefix that
-				// satisfies them is the same no matter which worker finished
-				// which chunk — or which other specs share the scheduler —
-				// which keeps early-stopped results exactly reproducible for
-				// a fixed seed.
-				progressed := false
-				for st.committed < st.stopAt && st.chunks[st.committed].done {
-					st.accShots += st.chunks[st.committed].shots
-					st.accFails += st.chunks[st.committed].failures
-					st.committed++
-					progressed = true
-					if st.spec.stopSatisfied(st.accShots, st.accFails) {
-						st.stopAt = st.committed
-						st.stopped = true
-						break
+					if progressed {
+						st.report(snapShots, snapFails)
 					}
-				}
-				snapShots, snapFails := st.accShots, st.accFails
-				if st.committed >= st.stopAt {
-					st.closeDone() // totals are final; written under mu just above
-				}
-				mu.Unlock()
-				if progressed {
-					st.report(snapShots, snapFails)
 				}
 			}
 		}()
@@ -653,17 +678,17 @@ func (s *Spec) stopSatisfied(shots, failures int) bool {
 }
 
 // batchScratch is the per-chunk decode scratch: one syndrome list per shot
-// of a 64-shot batch plus the sampled observable masks. Pooled so the
+// of a sampler batch plus the sampled observable masks. Pooled so the
 // steady-state chunk loop performs no per-batch allocation.
 type batchScratch struct {
-	syn    [64][]int
-	actual [64]uint64
+	syn    [sim.LaneShots][]int
+	actual [sim.LaneShots]uint64
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(batchScratch) }}
 
 // runChunk samples and decodes one shot chunk with a pooled frame simulator
-// and a pooled decoder, checking ctx between 64-shot batches. Each chunk's
+// and a pooled decoder, checking ctx between sampler batches. Each chunk's
 // wall time lands in the mc.decode.latency histogram (skipped entirely on a
 // discarding registry, so the uninstrumented path pays no clock reads).
 func (e *Engine) runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEntry, kind decoder.DecoderKind, shots int, seed *rng.RNG) (int, error) {
@@ -696,37 +721,75 @@ func (e *Engine) runChunk(ctx context.Context, c *circuit.Circuit, ent *cacheEnt
 	return failures, nil
 }
 
-// countBatchFailures decodes every shot of one 64-shot batch and counts
+// countBatchFailures decodes the shots of one sampler batch and counts
 // those whose predicted observable mask misses the sampled one. All
 // observables participate — not just observable 0.
 //
-// Syndromes are gathered word-at-a-time: for each detector word, zero words
-// (the overwhelmingly common case at realistic error rates) are skipped
-// outright and set bits are walked with bits.TrailingZeros64, so the cost
-// scales with fired detectors instead of shots × detectors. Detector words
-// are visited in ascending index order, so each shot's syndrome list stays
-// sorted — the order the dense per-shot scan produced.
+// The batch is processed one 64-shot lane word at a time. The detector
+// lanes of each word are OR-reduced into a fired mask: shots with an empty
+// syndrome decode to the decoder's empty-syndrome prediction (0 for every
+// decoder in this repository — probed once per batch so stub decoders that
+// predict otherwise still score correctly), so their failures are a single
+// bits.OnesCount64 popcount of flipped-but-silent shots instead of a
+// per-shot decode. Only fired shots get syndromes gathered — set bits
+// walked with bits.TrailingZeros64, detector words in ascending index order
+// so each shot's syndrome list stays sorted — and decoded, in ascending
+// shot order: the same inputs in the same order as decoding every shot
+// densely, so results are bit-identical.
 func countBatchFailures(dec decoder.Decoder, b sim.BatchResult, obsMask uint64, sc *batchScratch) int {
-	for s := 0; s < b.Shots; s++ {
-		sc.syn[s] = sc.syn[s][:0]
-		sc.actual[s] = 0
-	}
-	for d, w := range b.Detectors {
-		for ; w != 0; w &= w - 1 {
-			s := bits.TrailingZeros64(w)
-			sc.syn[s] = append(sc.syn[s], d)
-		}
-	}
-	for o, w := range b.Observables {
-		obit := uint64(1) << uint(o)
-		for ; w != 0; w &= w - 1 {
-			sc.actual[bits.TrailingZeros64(w)] |= obit
-		}
-	}
+	// Every real decoder predicts 0 for an empty syndrome without touching
+	// its scratch state, making the probe free and the skipped decodes
+	// unobservable.
+	emptyPred := dec.Decode(nil) & obsMask
+	words := b.Words()
 	failures := 0
-	for s := 0; s < b.Shots; s++ {
-		if dec.Decode(sc.syn[s])&obsMask != sc.actual[s] {
-			failures++
+	for w := 0; w < words; w++ {
+		base := w * 64
+		var fired uint64
+		for d := range b.Detectors {
+			fired |= b.Detectors[d][w]
+		}
+		if emptyPred == 0 {
+			var flipped uint64
+			for o := range b.Observables {
+				flipped |= b.Observables[o][w]
+			}
+			// Empty-syndrome shots fail exactly when any observable flipped.
+			// Bits past b.Shots are zero in every lane, so they cannot count.
+			failures += bits.OnesCount64(flipped &^ fired)
+		} else {
+			// Nonzero empty-syndrome prediction: every valid shot must be
+			// decoded and compared individually.
+			fired = ^uint64(0)
+			if rem := b.Shots - base; rem < 64 {
+				fired = uint64(1)<<uint(rem) - 1
+			}
+		}
+		if fired == 0 {
+			continue
+		}
+		for m := fired; m != 0; m &= m - 1 {
+			s := base + bits.TrailingZeros64(m)
+			sc.syn[s] = sc.syn[s][:0]
+			sc.actual[s] = 0
+		}
+		for d := range b.Detectors {
+			for word := b.Detectors[d][w]; word != 0; word &= word - 1 {
+				s := base + bits.TrailingZeros64(word)
+				sc.syn[s] = append(sc.syn[s], d)
+			}
+		}
+		for o := range b.Observables {
+			obit := uint64(1) << uint(o)
+			for word := b.Observables[o][w] & fired; word != 0; word &= word - 1 {
+				sc.actual[base+bits.TrailingZeros64(word)] |= obit
+			}
+		}
+		for m := fired; m != 0; m &= m - 1 {
+			s := base + bits.TrailingZeros64(m)
+			if dec.Decode(sc.syn[s])&obsMask != sc.actual[s] {
+				failures++
+			}
 		}
 	}
 	return failures

@@ -255,7 +255,7 @@ func TestMultiObservableScoring(t *testing.T) {
 	// shot1 = 0b011.
 	b := sim.BatchResult{
 		Detectors:   nil,
-		Observables: []uint64{0b10, 0b11, 0b00}, // per-observable shot words
+		Observables: []sim.Lane{{0b10}, {0b11}, {0b00}}, // per-observable shot lanes
 		Shots:       2,
 	}
 	scratch := new(batchScratch)
@@ -275,7 +275,7 @@ func TestMultiObservableScoring(t *testing.T) {
 	}
 	// The documented blind spot, explicitly: prediction 0b000 vs sampled
 	// 0b010 agrees on observable 0 yet is a logical failure.
-	if got := countBatchFailures(maskDecoder(0), sim.BatchResult{Observables: []uint64{0b0, 0b1, 0b0}, Shots: 1}, 0b111, scratch); got != 1 {
+	if got := countBatchFailures(maskDecoder(0), sim.BatchResult{Observables: []sim.Lane{{0b0}, {0b1}, {0b0}}, Shots: 1}, 0b111, scratch); got != 1 {
 		t.Errorf("higher-observable mismatch not counted: got %d failures, want 1", got)
 	}
 }

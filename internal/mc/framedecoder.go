@@ -50,7 +50,7 @@ func (e *Engine) FrameDecoder(prior *circuit.Circuit, kind decoder.DecoderKind) 
 		obsMask: observableMask(prior.NumObs),
 		numDet:  prior.NumDetectors,
 		numObs:  prior.NumObs,
-		fp:      Fingerprint(prior),
+		fp:      fingerprintOf(prior),
 	}, nil
 }
 
@@ -111,8 +111,8 @@ func observableMask(numObs int) uint64 {
 // SampleChunks samples spec's Monte-Carlo shot stream exactly as Evaluate
 // would draw it — sharded into ChunkShots-sized chunks, each seeded by
 // splitting the spec's generator in chunk order — but sequentially on the
-// caller's goroutine, invoking visit once per 64-shot batch of detector and
-// observable flip words. The randomness consumed is bit-identical to an
+// caller's goroutine, invoking visit once per sampler batch of detector and
+// observable flip lanes. The randomness consumed is bit-identical to an
 // Evaluate of the same spec regardless of that evaluation's worker count,
 // which is what makes a trace recorded from these batches a correctness
 // oracle: replaying it must reproduce Evaluate's failure count exactly.

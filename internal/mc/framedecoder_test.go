@@ -52,13 +52,14 @@ func TestSampleChunksMatchesEvaluate(t *testing.T) {
 		for s := 0; s < b.Shots; s++ {
 			syn = syn[:0]
 			var actual uint64
-			for di, w := range b.Detectors {
-				if w>>uint(s)&1 == 1 {
+			w, bit := s/64, uint(s%64)
+			for di := range b.Detectors {
+				if b.Detectors[di][w]>>bit&1 == 1 {
 					syn = append(syn, di)
 				}
 			}
-			for o, w := range b.Observables {
-				if w>>uint(s)&1 == 1 {
+			for o := range b.Observables {
+				if b.Observables[o][w]>>bit&1 == 1 {
 					actual |= 1 << uint(o)
 				}
 			}
@@ -127,8 +128,8 @@ func TestDecodeFrameConcurrent(t *testing.T) {
 	fs.Sample(256, func(b sim.BatchResult) {
 		for s := 0; s < b.Shots; s++ {
 			var syn []int
-			for di, w := range b.Detectors {
-				if w>>uint(s)&1 == 1 {
+			for di := range b.Detectors {
+				if b.Detectors[di][s/64]>>uint(s%64)&1 == 1 {
 					syn = append(syn, di)
 				}
 			}

@@ -1,0 +1,80 @@
+package mc
+
+import (
+	"context"
+	"testing"
+
+	"caliqec/internal/decoder"
+)
+
+// The golden values below were captured from the pre-lane-widening
+// implementation (64-shot sampler batches, full union-find reset per shot).
+// The widened 256-shot sampler, the popcount failure counter, the span
+// scheduler and the incremental union-find reset must all leave them
+// untouched — any drift here means the bit-identity contract broke, not
+// just a statistical wobble.
+
+// TestEvaluateGoldenCounts pins exact failure counts of fixed-seed
+// evaluations across decoder kinds and distances.
+func TestEvaluateGoldenCounts(t *testing.T) {
+	e := New(Options{})
+	cases := []struct {
+		d, rounds int
+		p         float64
+		shots     int
+		seed      uint64
+		kind      decoder.DecoderKind
+		wantFails int
+	}{
+		{3, 3, 0.003, 5000, 42, decoder.KindUnionFind, 26},
+		{5, 5, 0.002, 2000, 1, decoder.KindUnionFind, 1},
+		{3, 3, 0.004, 3000, 21, decoder.KindGreedy, 36},
+	}
+	for _, tc := range cases {
+		c := memCircuit(t, tc.d, tc.rounds, tc.p)
+		res := mustEval(t, e, Spec{
+			Circuit: c, Decoder: tc.kind, Shots: tc.shots, Rounds: tc.rounds, Seed: tc.seed,
+		})
+		if res.Shots != tc.shots || res.Failures != tc.wantFails {
+			t.Errorf("d=%d p=%g seed=%d kind=%v: shots=%d failures=%d, want shots=%d failures=%d",
+				tc.d, tc.p, tc.seed, tc.kind, res.Shots, res.Failures, tc.shots, tc.wantFails)
+		}
+	}
+}
+
+// TestEarlyStopGolden pins the committed-prefix early-stop point: the exact
+// chunk boundary and failure count must survive the scheduler's span
+// claiming and the widened batches.
+func TestEarlyStopGolden(t *testing.T) {
+	c := memCircuit(t, 3, 3, 1.5e-2)
+	res := mustEval(t, New(Options{}), Spec{
+		Circuit: c, Decoder: decoder.KindUnionFind, Shots: 400000, Rounds: 3,
+		Seed: 11, TargetFailures: 50,
+	})
+	if !res.EarlyStopped || res.Shots != 1024 || res.Failures != 122 {
+		t.Errorf("early stop at shots=%d failures=%d stopped=%v, want 1024/122/true",
+			res.Shots, res.Failures, res.EarlyStopped)
+	}
+}
+
+// TestAblateWindowsGolden pins the windowed ablation counts, covering the
+// lane transpose in AblateWindows and DecodeWindow through the incremental
+// union-find.
+func TestAblateWindowsGolden(t *testing.T) {
+	c := memCircuit(t, 3, 3, 3e-3)
+	ab, err := New(Options{}).AblateWindows(context.Background(),
+		Spec{Circuit: c, Decoder: decoder.KindUnionFind, Shots: 2000, Rounds: 3, Seed: 3},
+		[]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Shots != 2000 || ab.WholeFails != 10 {
+		t.Errorf("whole-shot: shots=%d fails=%d, want 2000/10", ab.Shots, ab.WholeFails)
+	}
+	want := []int{47, 11, 10}
+	for i, w := range ab.Windows {
+		if ab.WindowFails[i] != want[i] {
+			t.Errorf("window=%d: %d failures, want %d", w, ab.WindowFails[i], want[i])
+		}
+	}
+}

@@ -66,7 +66,7 @@ func (e *Engine) WindowedFrameDecoder(prior *circuit.Circuit, window int) (*Wind
 		numDet:    prior.NumDetectors,
 		numObs:    prior.NumObs,
 		numRounds: ent.graph.NumRounds,
-		fp:        Fingerprint(prior),
+		fp:        fingerprintOf(prior),
 	}
 	g := ent.graph
 	wd.pool.New = func() interface{} {
@@ -205,26 +205,33 @@ func (e *Engine) AblateWindows(ctx context.Context, spec Spec, windows []int) (*
 		NumDetectors: spec.Circuit.NumDetectors,
 	}
 	obsMask := observableMask(spec.Circuit.NumObs)
-	var perShot [64][]int
-	var actual [64]uint64
+	var perShot [sim.LaneShots][]int
+	var actual [sim.LaneShots]uint64
 	err = SampleChunks(ctx, spec, func(b sim.BatchResult) error {
+		words := b.Words()
 		for s := 0; s < b.Shots; s++ {
 			perShot[s] = perShot[s][:0]
 			actual[s] = 0
 		}
-		// Transpose detector words (bit per shot) into per-shot sorted
-		// syndromes; detectors are visited in ascending order so each
-		// shot's list is born sorted.
-		for d, word := range b.Detectors {
-			for ; word != 0; word &= word - 1 {
-				s := bits.TrailingZeros64(word)
-				perShot[s] = append(perShot[s], d)
+		// Transpose detector lanes (bit s%64 of word s/64 per shot) into
+		// per-shot sorted syndromes; detectors are visited in ascending
+		// order so each shot's list is born sorted.
+		for d := range b.Detectors {
+			for w := 0; w < words; w++ {
+				base := w * 64
+				for word := b.Detectors[d][w]; word != 0; word &= word - 1 {
+					s := base + bits.TrailingZeros64(word)
+					perShot[s] = append(perShot[s], d)
+				}
 			}
 		}
-		for o, word := range b.Observables {
+		for o := range b.Observables {
 			obit := uint64(1) << uint(o)
-			for ; word != 0; word &= word - 1 {
-				actual[bits.TrailingZeros64(word)] |= obit
+			for w := 0; w < words; w++ {
+				base := w * 64
+				for word := b.Observables[o][w]; word != 0; word &= word - 1 {
+					actual[base+bits.TrailingZeros64(word)] |= obit
+				}
 			}
 		}
 		for s := 0; s < b.Shots; s++ {

@@ -91,8 +91,8 @@ func TestWindowedLERTolerance(t *testing.T) {
 func collectSyndromes(out *[][]int, b sim.BatchResult) error {
 	for s := 0; s < b.Shots; s++ {
 		var syn []int
-		for di, w := range b.Detectors {
-			if w>>uint(s)&1 == 1 {
+		for di := range b.Detectors {
+			if b.Detectors[di][s/64]>>uint(s%64)&1 == 1 {
 				syn = append(syn, di)
 			}
 		}

@@ -10,13 +10,16 @@
 // observable values. This is the same strategy Stim uses for its sampling
 // fast path.
 //
-// Shots are packed 64 per machine word so one pass over the circuit
-// advances 64 Monte-Carlo trajectories. The circuit is compiled once, at
-// construction, into a flat list of closures (one per instruction, with
-// opcode dispatch, measurement offsets and the geometric-skipping log
-// already resolved), so the per-batch loop is a straight walk with no
-// re-switching on Op and no per-batch float math beyond the draws
-// themselves.
+// Shots are packed 64 per machine word and LaneWords words per Lane, so one
+// pass over the circuit advances LaneShots (256) Monte-Carlo trajectories.
+// The circuit is compiled once, at construction, into two flat closure
+// lists: a draw program that consumes randomness one 64-shot word at a time
+// (run word-major, so the RNG stream is bit-identical to the old 64-wide
+// simulator's batch-sequential order), and an apply program whose steps
+// each advance a whole lane. Ticks and zero-probability noise compile to
+// nothing, per-instruction constants (measurement offsets, log(1-p)) are
+// resolved at compile time, and per-instruction dispatch overhead
+// amortizes over 4× more shots than the single-word version.
 package sim
 
 import (
@@ -25,6 +28,21 @@ import (
 	"math"
 	"math/bits"
 )
+
+// Shot-lane geometry. Within a batch, shot s lives at bit s%64 of word
+// s/64 — the same mapping chunks use, so consumers walk set bits with
+// bits.TrailingZeros64 per word exactly as they did when batches were one
+// word wide.
+const (
+	// LaneWords is the number of 64-shot words advanced per pass.
+	LaneWords = 4
+	// LaneShots is the number of shots per batch (bits per Lane).
+	LaneShots = 64 * LaneWords
+)
+
+// Lane holds one bit per shot of a batch for a single detector, observable,
+// or frame component.
+type Lane [LaneWords]uint64
 
 // FrameSimulator samples detector and observable flip bits for batches of
 // shots of a fixed circuit. It is not safe for concurrent use; internal/mc
@@ -35,39 +53,58 @@ type FrameSimulator struct {
 	c   *circuit.Circuit
 	rng *rng.RNG
 
-	// prog is the compiled instruction stream: one step per state-affecting
-	// instruction, in circuit order. Ticks and zero-probability pure-noise
-	// instructions compile to nothing (they neither touch frames nor consume
-	// randomness), so skipping them preserves the RNG stream bit-for-bit.
+	// draws is the compiled noise program: one entry per randomness-consuming
+	// instruction, in circuit order. Each call draws the instruction's masks
+	// for a single 64-shot word w into the noise buffer. runBatch runs the
+	// draw program once per active word (word-major), reproducing exactly the
+	// randomness order of a 64-shot-per-pass simulator running the batch's
+	// words as consecutive batches.
+	draws []drawStep
+
+	// prog is the compiled apply program: one step per state-affecting
+	// instruction, in circuit order, each advancing a full lane. Ticks and
+	// zero-probability pure-noise instructions compile to nothing (they
+	// neither touch frames nor consume randomness), so skipping them
+	// preserves the RNG stream bit-for-bit.
 	prog []step
 
-	// Per-qubit frame bits for the current 64-shot batch.
-	xf []uint64 // X component of the frame (flips Z-basis measurements)
-	zf []uint64 // Z component of the frame (flips X-basis measurements)
+	// noise holds the masks drawn for the current batch, one Lane per
+	// compile-time-assigned slot. Words ≥ the batch's active word count keep
+	// stale bits; they only feed shot columns that are masked away.
+	noise []Lane
+
+	// Per-qubit frame bits for the current batch.
+	xf []Lane // X component of the frame (flips Z-basis measurements)
+	zf []Lane // Z component of the frame (flips X-basis measurements)
 
 	// Measurement-record flip bits for the current batch.
-	recs []uint64
+	recs []Lane
 
-	// Detector/observable words for the current batch, reused across
+	// Detector/observable lanes for the current batch, reused across
 	// batches and across Sample calls (previously allocated per call).
-	det []uint64
-	obs []uint64
+	det []Lane
+	obs []Lane
 }
 
-// step advances one compiled instruction on the current 64-shot batch.
+// step advances one compiled instruction on the current batch's lanes.
 type step func(fs *FrameSimulator)
+
+// drawStep draws one instruction's noise masks for 64-shot word w.
+type drawStep func(fs *FrameSimulator, w int)
 
 // NewFrameSimulator returns a simulator for c drawing randomness from r.
 func NewFrameSimulator(c *circuit.Circuit, r *rng.RNG) *FrameSimulator {
 	fs := &FrameSimulator{
 		c: c, rng: r,
-		xf:   make([]uint64, c.NumQubits),
-		zf:   make([]uint64, c.NumQubits),
-		recs: make([]uint64, c.NumMeas),
-		det:  make([]uint64, c.NumDetectors),
-		obs:  make([]uint64, c.NumObs),
+		xf:   make([]Lane, c.NumQubits),
+		zf:   make([]Lane, c.NumQubits),
+		recs: make([]Lane, c.NumMeas),
+		det:  make([]Lane, c.NumDetectors),
+		obs:  make([]Lane, c.NumObs),
 	}
-	fs.prog = compile(c)
+	var slots int
+	fs.draws, fs.prog, slots = compile(c)
+	fs.noise = make([]Lane, slots)
 	return fs
 }
 
@@ -80,13 +117,19 @@ func (fs *FrameSimulator) Circuit() *circuit.Circuit { return fs.c }
 // from r exactly as a freshly constructed simulator would.
 func (fs *FrameSimulator) Reset(r *rng.RNG) { fs.rng = r }
 
-// BatchResult holds detector and observable flips for one 64-shot batch,
-// one word per detector/observable with bit i belonging to shot i.
+// BatchResult holds detector and observable flips for one batch of up to
+// LaneShots shots: one Lane per detector/observable, with shot s at bit
+// s%64 of word s/64. Words at or beyond Words() are zero.
 type BatchResult struct {
-	Detectors   []uint64
-	Observables []uint64
-	Shots       int // number of valid low bits (≤ 64)
+	Detectors   []Lane
+	Observables []Lane
+	Shots       int // number of valid shots (≤ LaneShots)
 }
+
+// Words returns the number of lane words carrying valid shots: the final
+// partial batch of a run may fill fewer than LaneWords words, and consumers
+// iterating words should stop there.
+func (b BatchResult) Words() int { return (b.Shots + 63) / 64 }
 
 // geomThreshold is the error probability below which bernoulli draws use
 // geometric skipping (O(p·64) draws per word instead of 64).
@@ -143,18 +186,21 @@ func bernoulliMaskLogq(r *rng.RNG, p, logq float64) uint64 {
 	return mask
 }
 
-// compile lowers c's instruction list into a flat step stream. Each step
-// captures its targets, probability argument, precomputed log(1-p) and — for
-// measurements — the absolute measurement-record base index, so executing a
-// batch never re-inspects opcodes or recomputes per-instruction constants.
+// compile lowers c's instruction list into a draw program and an apply
+// program. Each apply step captures its targets and — for measurements —
+// the absolute measurement-record base index; each draw step captures its
+// probability argument, precomputed log(1-p), and the noise-buffer slot
+// range it fills. slots is the total noise-buffer size in Lanes.
 //
-// RNG-stream compatibility: steps draw randomness in exactly the order and
-// quantity the interpreted switch did. The only instructions elided are
-// ticks and pure-noise channels with Arg ≤ 0, neither of which consumes
-// randomness, so compiled and interpreted execution are bit-identical for
-// the same seed.
-func compile(c *circuit.Circuit) []step {
-	prog := make([]step, 0, len(c.Instructions))
+// RNG-stream compatibility: for one 64-shot word the draw program consumes
+// randomness in exactly the order and quantity the single-word simulator's
+// fused steps did. The only instructions elided are ticks and pure-noise
+// channels with Arg ≤ 0, neither of which consumes randomness, and noiseless
+// resets/measurements compile to draw-free apply steps (an Arg ≤ 0 bernoulli
+// draw consumed nothing either), so compiled wide and narrow execution are
+// bit-identical for the same seed.
+func compile(c *circuit.Circuit) (draws []drawStep, prog []step, slots int) {
+	prog = make([]step, 0, len(c.Instructions))
 	meas := 0
 	for _, in := range c.Instructions {
 		targets := in.Targets
@@ -173,23 +219,34 @@ func compile(c *circuit.Circuit) []step {
 			// S maps X -> Y: an X frame gains a Z component.
 			prog = append(prog, func(fs *FrameSimulator) {
 				for _, q := range targets {
-					fs.zf[q] ^= fs.xf[q]
+					x, z := &fs.xf[q], &fs.zf[q]
+					for w := 0; w < LaneWords; w++ {
+						z[w] ^= x[w]
+					}
 				}
 			})
 		case circuit.OpCX:
 			prog = append(prog, func(fs *FrameSimulator) {
 				for i := 0; i < len(targets); i += 2 {
 					c, t := targets[i], targets[i+1]
-					fs.xf[t] ^= fs.xf[c] // X on control propagates to target
-					fs.zf[c] ^= fs.zf[t] // Z on target propagates to control
+					xc, xt := &fs.xf[c], &fs.xf[t]
+					zc, zt := &fs.zf[c], &fs.zf[t]
+					for w := 0; w < LaneWords; w++ {
+						xt[w] ^= xc[w] // X on control propagates to target
+						zc[w] ^= zt[w] // Z on target propagates to control
+					}
 				}
 			})
 		case circuit.OpCZ:
 			prog = append(prog, func(fs *FrameSimulator) {
 				for i := 0; i < len(targets); i += 2 {
 					a, b := targets[i], targets[i+1]
-					fs.zf[a] ^= fs.xf[b]
-					fs.zf[b] ^= fs.xf[a]
+					xa, xb := &fs.xf[a], &fs.xf[b]
+					za, zb := &fs.zf[a], &fs.zf[b]
+					for w := 0; w < LaneWords; w++ {
+						za[w] ^= xb[w]
+						zb[w] ^= xa[w]
+					}
 				}
 			})
 		case circuit.OpSwap:
@@ -203,17 +260,41 @@ func compile(c *circuit.Circuit) []step {
 		case circuit.OpReset:
 			// Reset discards the frame; a noisy reset leaves an X error
 			// (wrong computational-basis state) with probability Arg.
+			if arg <= 0 {
+				prog = append(prog, func(fs *FrameSimulator) {
+					for _, q := range targets {
+						fs.xf[q] = Lane{}
+						fs.zf[q] = Lane{}
+					}
+				})
+				continue
+			}
+			base := slots
+			slots += len(targets)
+			draws = append(draws, maskDraw(base, len(targets), arg, logq))
 			prog = append(prog, func(fs *FrameSimulator) {
-				for _, q := range targets {
-					fs.xf[q] = bernoulliMaskLogq(fs.rng, arg, logq)
-					fs.zf[q] = 0
+				for j, q := range targets {
+					fs.xf[q] = fs.noise[base+j]
+					fs.zf[q] = Lane{}
 				}
 			})
 		case circuit.OpResetX:
+			if arg <= 0 {
+				prog = append(prog, func(fs *FrameSimulator) {
+					for _, q := range targets {
+						fs.xf[q] = Lane{}
+						fs.zf[q] = Lane{}
+					}
+				})
+				continue
+			}
+			base := slots
+			slots += len(targets)
+			draws = append(draws, maskDraw(base, len(targets), arg, logq))
 			prog = append(prog, func(fs *FrameSimulator) {
-				for _, q := range targets {
-					fs.zf[q] = bernoulliMaskLogq(fs.rng, arg, logq)
-					fs.xf[q] = 0
+				for j, q := range targets {
+					fs.zf[q] = fs.noise[base+j]
+					fs.xf[q] = Lane{}
 				}
 			})
 		case circuit.OpM:
@@ -222,69 +303,131 @@ func compile(c *circuit.Circuit) []step {
 			// stabilizer of the collapsed state, so it is cleared.
 			base := meas
 			meas += len(targets)
+			if arg <= 0 {
+				prog = append(prog, func(fs *FrameSimulator) {
+					for j, q := range targets {
+						fs.recs[base+j] = fs.xf[q]
+						fs.zf[q] = Lane{}
+					}
+				})
+				continue
+			}
+			nbase := slots
+			slots += len(targets)
+			draws = append(draws, maskDraw(nbase, len(targets), arg, logq))
 			prog = append(prog, func(fs *FrameSimulator) {
 				for j, q := range targets {
-					fs.recs[base+j] = fs.xf[q] ^ bernoulliMaskLogq(fs.rng, arg, logq)
-					fs.zf[q] = 0
+					r, x, m := &fs.recs[base+j], &fs.xf[q], &fs.noise[nbase+j]
+					for w := 0; w < LaneWords; w++ {
+						r[w] = x[w] ^ m[w]
+					}
+					fs.zf[q] = Lane{}
 				}
 			})
 		case circuit.OpMX:
 			base := meas
 			meas += len(targets)
+			if arg <= 0 {
+				prog = append(prog, func(fs *FrameSimulator) {
+					for j, q := range targets {
+						fs.recs[base+j] = fs.zf[q]
+						fs.xf[q] = Lane{}
+					}
+				})
+				continue
+			}
+			nbase := slots
+			slots += len(targets)
+			draws = append(draws, maskDraw(nbase, len(targets), arg, logq))
 			prog = append(prog, func(fs *FrameSimulator) {
 				for j, q := range targets {
-					fs.recs[base+j] = fs.zf[q] ^ bernoulliMaskLogq(fs.rng, arg, logq)
-					fs.xf[q] = 0
+					r, z, m := &fs.recs[base+j], &fs.zf[q], &fs.noise[nbase+j]
+					for w := 0; w < LaneWords; w++ {
+						r[w] = z[w] ^ m[w]
+					}
+					fs.xf[q] = Lane{}
 				}
 			})
 		case circuit.OpXError:
 			if arg <= 0 {
 				continue // draws nothing and flips nothing
 			}
+			base := slots
+			slots += len(targets)
+			draws = append(draws, maskDraw(base, len(targets), arg, logq))
 			prog = append(prog, func(fs *FrameSimulator) {
-				for _, q := range targets {
-					fs.xf[q] ^= bernoulliMaskLogq(fs.rng, arg, logq)
+				for j, q := range targets {
+					x, m := &fs.xf[q], &fs.noise[base+j]
+					for w := 0; w < LaneWords; w++ {
+						x[w] ^= m[w]
+					}
 				}
 			})
 		case circuit.OpZError:
 			if arg <= 0 {
 				continue
 			}
+			base := slots
+			slots += len(targets)
+			draws = append(draws, maskDraw(base, len(targets), arg, logq))
 			prog = append(prog, func(fs *FrameSimulator) {
-				for _, q := range targets {
-					fs.zf[q] ^= bernoulliMaskLogq(fs.rng, arg, logq)
+				for j, q := range targets {
+					z, m := &fs.zf[q], &fs.noise[base+j]
+					for w := 0; w < LaneWords; w++ {
+						z[w] ^= m[w]
+					}
 				}
 			})
 		case circuit.OpYError:
 			if arg <= 0 {
 				continue
 			}
+			base := slots
+			slots += len(targets)
+			draws = append(draws, maskDraw(base, len(targets), arg, logq))
 			prog = append(prog, func(fs *FrameSimulator) {
-				for _, q := range targets {
-					m := bernoulliMaskLogq(fs.rng, arg, logq)
-					fs.xf[q] ^= m
-					fs.zf[q] ^= m
+				for j, q := range targets {
+					x, z, m := &fs.xf[q], &fs.zf[q], &fs.noise[base+j]
+					for w := 0; w < LaneWords; w++ {
+						x[w] ^= m[w]
+						z[w] ^= m[w]
+					}
 				}
 			})
 		case circuit.OpDepolarize1:
 			if arg <= 0 {
 				continue
 			}
-			prog = append(prog, func(fs *FrameSimulator) {
-				for _, q := range targets {
+			base := slots
+			slots += 2 * len(targets) // X mask + Z mask per target
+			draws = append(draws, func(fs *FrameSimulator, w int) {
+				for j := range targets {
 					m := bernoulliMaskLogq(fs.rng, arg, logq)
 					// For each erring shot choose X, Y or Z uniformly.
-					for w := m; w != 0; w &= w - 1 {
-						bit := w & -w
+					var xm, zm uint64
+					for v := m; v != 0; v &= v - 1 {
+						bit := v & -v
 						switch fs.rng.Intn(3) {
 						case 0:
-							fs.xf[q] ^= bit
+							xm ^= bit
 						case 1:
-							fs.xf[q] ^= bit
-							fs.zf[q] ^= bit
+							xm ^= bit
+							zm ^= bit
 						case 2:
-							fs.zf[q] ^= bit
+							zm ^= bit
 						}
+					}
+					fs.noise[base+2*j][w] = xm
+					fs.noise[base+2*j+1][w] = zm
+				}
+			})
+			prog = append(prog, func(fs *FrameSimulator) {
+				for j, q := range targets {
+					x, z := &fs.xf[q], &fs.zf[q]
+					xm, zm := &fs.noise[base+2*j], &fs.noise[base+2*j+1]
+					for w := 0; w < LaneWords; w++ {
+						x[w] ^= xm[w]
+						z[w] ^= zm[w]
 					}
 				}
 			})
@@ -292,67 +435,112 @@ func compile(c *circuit.Circuit) []step {
 			if arg <= 0 {
 				continue
 			}
-			prog = append(prog, func(fs *FrameSimulator) {
+			base := slots
+			slots += 2 * len(targets) // X+Z masks for both qubits per pair
+			draws = append(draws, func(fs *FrameSimulator, w int) {
 				for i := 0; i < len(targets); i += 2 {
-					a, b := targets[i], targets[i+1]
 					m := bernoulliMaskLogq(fs.rng, arg, logq)
-					for w := m; w != 0; w &= w - 1 {
-						bit := w & -w
+					var xa, za, xb, zb uint64
+					for v := m; v != 0; v &= v - 1 {
+						bit := v & -v
 						// Choose one of the 15 non-identity two-qubit Paulis.
 						k := fs.rng.Intn(15) + 1 // 1..15, 2 bits per qubit
 						pa, pb := k&3, k>>2
 						if pa&2 != 0 {
-							fs.xf[a] ^= bit
+							xa ^= bit
 						}
 						if pa&1 != 0 {
-							fs.zf[a] ^= bit
+							za ^= bit
 						}
 						if pb&2 != 0 {
-							fs.xf[b] ^= bit
+							xb ^= bit
 						}
 						if pb&1 != 0 {
-							fs.zf[b] ^= bit
+							zb ^= bit
 						}
+					}
+					s := base + 2*i
+					fs.noise[s][w] = xa
+					fs.noise[s+1][w] = za
+					fs.noise[s+2][w] = xb
+					fs.noise[s+3][w] = zb
+				}
+			})
+			prog = append(prog, func(fs *FrameSimulator) {
+				for i := 0; i < len(targets); i += 2 {
+					a, b := targets[i], targets[i+1]
+					s := base + 2*i
+					xa, za := &fs.xf[a], &fs.zf[a]
+					xb, zb := &fs.xf[b], &fs.zf[b]
+					ma, mb := &fs.noise[s], &fs.noise[s+1]
+					mc, md := &fs.noise[s+2], &fs.noise[s+3]
+					for w := 0; w < LaneWords; w++ {
+						xa[w] ^= ma[w]
+						za[w] ^= mb[w]
+						xb[w] ^= mc[w]
+						zb[w] ^= md[w]
 					}
 				}
 			})
 		case circuit.OpDetector:
 			prog = append(prog, func(fs *FrameSimulator) {
-				var v uint64
+				var v Lane
 				for _, rIdx := range recsIdx {
-					v ^= fs.recs[rIdx]
+					r := &fs.recs[rIdx]
+					for w := 0; w < LaneWords; w++ {
+						v[w] ^= r[w]
+					}
 				}
 				fs.det[index] = v
 			})
 		case circuit.OpObservable:
 			prog = append(prog, func(fs *FrameSimulator) {
-				var v uint64
+				var v Lane
 				for _, rIdx := range recsIdx {
-					v ^= fs.recs[rIdx]
+					r := &fs.recs[rIdx]
+					for w := 0; w < LaneWords; w++ {
+						v[w] ^= r[w]
+					}
 				}
-				fs.obs[index] ^= v
+				o := &fs.obs[index]
+				for w := 0; w < LaneWords; w++ {
+					o[w] ^= v[w]
+				}
 			})
 		case circuit.OpTick:
 			// no state effect, no randomness: compiles to nothing
 		}
 	}
-	return prog
+	return draws, prog, slots
 }
 
-// runBatch executes one 64-shot pass, filling fs.det/fs.obs flip words.
-func (fs *FrameSimulator) runBatch() {
-	for i := range fs.xf {
-		fs.xf[i] = 0
-		fs.zf[i] = 0
+// maskDraw returns a draw step filling n consecutive noise slots starting at
+// base with plain bernoulli masks — the shared shape of every noise channel
+// that needs no per-bit Pauli choice.
+func maskDraw(base, n int, arg, logq float64) drawStep {
+	return func(fs *FrameSimulator, w int) {
+		for j := 0; j < n; j++ {
+			fs.noise[base+j][w] = bernoulliMaskLogq(fs.rng, arg, logq)
+		}
 	}
-	for i := range fs.recs {
-		fs.recs[i] = 0
-	}
-	for i := range fs.det {
-		fs.det[i] = 0
-	}
-	for i := range fs.obs {
-		fs.obs[i] = 0
+}
+
+// runBatch executes one pass with the given number of active 64-shot words,
+// filling fs.det/fs.obs flip lanes. The draw program runs word-major (all
+// instructions for word 0, then word 1, …) so randomness is consumed in the
+// same order as running each word as its own 64-shot batch; the apply
+// program then advances all LaneWords words per step. Lane words ≥ words
+// compute on stale noise bits and hold garbage until the caller masks them.
+func (fs *FrameSimulator) runBatch(words int) {
+	clear(fs.xf)
+	clear(fs.zf)
+	clear(fs.recs)
+	clear(fs.det)
+	clear(fs.obs)
+	for w := 0; w < words; w++ {
+		for _, d := range fs.draws {
+			d(fs, w)
+		}
 	}
 	for _, st := range fs.prog {
 		st(fs)
@@ -360,8 +548,8 @@ func (fs *FrameSimulator) runBatch() {
 }
 
 // Sample runs shots Monte-Carlo trajectories and invokes visit once per
-// 64-shot batch with the detector and observable flip words. The final
-// batch may contain fewer than 64 valid shots (BatchResult.Shots).
+// batch with the detector and observable flip lanes. The final batch may
+// contain fewer than LaneShots valid shots (BatchResult.Shots).
 func (fs *FrameSimulator) Sample(shots int, visit func(BatchResult)) {
 	fs.SampleWhile(shots, func(b BatchResult) bool {
 		visit(b)
@@ -374,27 +562,44 @@ func (fs *FrameSimulator) Sample(shots int, visit func(BatchResult)) {
 // internal/mc abort an in-flight evaluation between batches on context
 // cancellation without consuming randomness for work it will discard.
 //
-// The BatchResult words alias the simulator's internal scratch: they are
+// A partial final batch draws randomness for exactly ceil(n/64) words — the
+// same amount the single-word simulator drew for the same shot count — and
+// its detector/observable lanes are masked so bits of shots ≥ n are zero.
+//
+// The BatchResult lanes alias the simulator's internal scratch: they are
 // valid only until the next batch (or the next Sample call) and must not be
 // retained by visit.
 func (fs *FrameSimulator) SampleWhile(shots int, visit func(BatchResult) bool) {
-	for done := 0; done < shots; done += 64 {
+	for done := 0; done < shots; done += LaneShots {
 		n := shots - done
-		if n > 64 {
-			n = 64
+		if n > LaneShots {
+			n = LaneShots
 		}
-		fs.runBatch()
-		if n < 64 {
-			lowMask := uint64(1)<<uint(n) - 1
-			for i := range fs.det {
-				fs.det[i] &= lowMask
-			}
-			for i := range fs.obs {
-				fs.obs[i] &= lowMask
-			}
+		words := (n + 63) / 64
+		fs.runBatch(words)
+		if n < LaneShots {
+			maskTail(fs.det, n)
+			maskTail(fs.obs, n)
 		}
 		if !visit(BatchResult{Detectors: fs.det, Observables: fs.obs, Shots: n}) {
 			return
+		}
+	}
+}
+
+// maskTail zeroes the bits of shots ≥ n in every lane: the high bits of the
+// last active word plus all words after it. n must be in (0, LaneShots).
+func maskTail(lanes []Lane, n int) {
+	last := (n - 1) / 64
+	low := ^uint64(0)
+	if r := uint(n & 63); r != 0 {
+		low = uint64(1)<<r - 1
+	}
+	for i := range lanes {
+		l := &lanes[i]
+		l[last] &= low
+		for w := last + 1; w < LaneWords; w++ {
+			l[w] = 0
 		}
 	}
 }
@@ -406,8 +611,11 @@ func (fs *FrameSimulator) SampleWhile(shots int, visit func(BatchResult) bool) {
 func (fs *FrameSimulator) CountObservableFlips(shots int) []int {
 	counts := make([]int, fs.c.NumObs)
 	fs.Sample(shots, func(b BatchResult) {
-		for i, w := range b.Observables {
-			counts[i] += bits.OnesCount64(w)
+		for i := range b.Observables {
+			l := &b.Observables[i]
+			for w := 0; w < LaneWords; w++ {
+				counts[i] += bits.OnesCount64(l[w])
+			}
 		}
 	})
 	return counts

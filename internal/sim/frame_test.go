@@ -54,13 +54,13 @@ func TestFrameDetectsInjectedErrors(t *testing.T) {
 	c := b.Build()
 	fs := NewFrameSimulator(c, rng.New(1))
 	fs.Sample(64, func(res BatchResult) {
-		if res.Detectors[0] != ^uint64(0) {
+		if res.Detectors[0][0] != ^uint64(0) {
 			t.Error("detector 0 should fire on every shot")
 		}
-		if res.Detectors[1] != 0 {
+		if onesLane(res.Detectors[1]) != 0 {
 			t.Error("detector 1 should never fire")
 		}
-		if res.Observables[0] != ^uint64(0) {
+		if res.Observables[0][0] != ^uint64(0) {
 			t.Error("observable should flip every shot")
 		}
 	})
@@ -82,7 +82,7 @@ func TestFrameMatchesBinomial(t *testing.T) {
 	const shots = 200000
 	fired := 0
 	fs.Sample(shots, func(res BatchResult) {
-		fired += bits.OnesCount64(res.Detectors[0])
+		fired += onesLane(res.Detectors[0])
 	})
 	got := float64(fired) / shots
 	if math.Abs(got-p) > 0.004 {
@@ -102,8 +102,8 @@ func TestFrameRepCodeRates(t *testing.T) {
 	const shots = 100000
 	counts := make([]int, c.NumDetectors)
 	fs.Sample(shots, func(res BatchResult) {
-		for i, w := range res.Detectors {
-			counts[i] += bits.OnesCount64(w)
+		for i := range res.Detectors {
+			counts[i] += onesLane(res.Detectors[i])
 		}
 	})
 	// Middle-round detectors compare two syndrome measurements; detector 2
@@ -138,7 +138,7 @@ func TestMeasurementErrorTimelike(t *testing.T) {
 	c := b.Build()
 	fs := NewFrameSimulator(c, rng.New(1))
 	fs.Sample(64, func(res BatchResult) {
-		if res.Detectors[0] != ^uint64(0) || res.Detectors[1] != ^uint64(0) {
+		if res.Detectors[0][0] != ^uint64(0) || res.Detectors[1][0] != ^uint64(0) {
 			t.Error("measurement flip must fire both adjacent time-like detectors")
 		}
 	})
@@ -160,7 +160,7 @@ func TestDepolarize2MarginalRate(t *testing.T) {
 	const shots = 300000
 	fired := 0
 	fs.Sample(shots, func(res BatchResult) {
-		fired += bits.OnesCount64(res.Detectors[0])
+		fired += onesLane(res.Detectors[0])
 	})
 	got := float64(fired) / shots
 	want := p * 8 / 15
@@ -179,20 +179,33 @@ func TestPartialBatchMasking(t *testing.T) {
 	fs := NewFrameSimulator(c, rng.New(1))
 	total := 0
 	fs.Sample(70, func(res BatchResult) {
-		total += bits.OnesCount64(res.Detectors[0])
+		total += onesLane(res.Detectors[0])
 	})
 	if total != 70 {
 		t.Errorf("got %d fired shots, want exactly 70 (partial batch must be masked)", total)
 	}
 }
 
-// collectWords samples shots and returns every detector/observable word in
-// batch order, copying out of the simulator's reused scratch.
+// onesLane counts the set bits across every word of a lane.
+func onesLane(l Lane) int {
+	n := 0
+	for w := 0; w < LaneWords; w++ {
+		n += bits.OnesCount64(l[w])
+	}
+	return n
+}
+
+// collectWords samples shots and returns every detector/observable lane word
+// in batch order, copying out of the simulator's reused scratch.
 func collectWords(fs *FrameSimulator, shots int) []uint64 {
 	var out []uint64
 	fs.Sample(shots, func(res BatchResult) {
-		out = append(out, res.Detectors...)
-		out = append(out, res.Observables...)
+		for i := range res.Detectors {
+			out = append(out, res.Detectors[i][:]...)
+		}
+		for i := range res.Observables {
+			out = append(out, res.Observables[i][:]...)
+		}
 	})
 	return out
 }

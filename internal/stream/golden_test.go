@@ -1,0 +1,60 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"caliqec/internal/code"
+	"caliqec/internal/decoder"
+	"caliqec/internal/lattice"
+	"caliqec/internal/mc"
+	"caliqec/internal/stream"
+)
+
+// TestRecordGoldenDigests pins the exact trace bytes stream.Record produces
+// for fixed specs to SHA-256 digests captured from the pre-lane-widening
+// implementation (64-shot batches). The multi-word sampler must reproduce
+// those bytes bit-for-bit: same chunk split seeds, same per-shot frame order,
+// same detector/observable bits. Shot counts cover whole 256-shot lane
+// groups (2048), a ragged tail past a full group (1500 = 5*256 + 220), tails
+// shorter than one group (300, 100), exactly one word (64), and a tail that
+// straddles a word boundary (70).
+func TestRecordGoldenDigests(t *testing.T) {
+	patch := code.NewPatch(lattice.NewSquare(3))
+	c, err := patch.MemoryCircuit(code.MemoryOptions{
+		Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(3e-3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		shots int
+		seed  uint64
+		want  string
+	}{
+		{2048, 11, "0a15b773e7a3cd820fec683d9d27a9d4e8e20ba940da0c291cdd8c364302db94"},
+		{1500, 11, "fbc5f6274d7b1b38c8d8b87beb454cd851a9cc6df2a0710b0496c3da292552aa"},
+		{300, 7, "098970155e3b1c17d034a1f841af3fb60d7d9ee9992a5b44c50360bf78b9ab0d"},
+		{100, 7, "590e8ade967c30dc0eab0e20adc79367a12d9d1a711ae07446c3eaa1d3952673"},
+		{64, 7, "1b49156ec222c705a9dba8c3eedebecd9fb18766d963412d05904986cb7ee0d8"},
+		{70, 3, "df034ff8460bf3a126d2f95277be9ef2d553cc67f012a2917b9a9db9b76bad19"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		n, err := stream.Record(context.Background(), mc.Spec{
+			Circuit: c, Decoder: decoder.KindUnionFind, Shots: tc.shots, Rounds: 3, Seed: tc.seed,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("shots=%d seed=%d: %v", tc.shots, tc.seed, err)
+		}
+		if n != tc.shots {
+			t.Fatalf("shots=%d seed=%d: recorded %d shots", tc.shots, tc.seed, n)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got := hex.EncodeToString(sum[:]); got != tc.want {
+			t.Errorf("shots=%d seed=%d: trace sha256 %s, want %s", tc.shots, tc.seed, got, tc.want)
+		}
+	}
+}

@@ -40,33 +40,41 @@ func Record(ctx context.Context, spec mc.Spec, w io.Writer) (int, error) {
 		return 0, err
 	}
 	fb := h.frameBytes()
-	// One packed frame per shot of a 64-shot batch, backed by a single slab.
-	slab := make([]byte, 64*fb)
-	var packed [64][]byte
+	// One packed frame per shot of a sampler batch, backed by a single slab.
+	slab := make([]byte, sim.LaneShots*fb)
+	var packed [sim.LaneShots][]byte
 	for s := range packed {
 		packed[s] = slab[s*fb : (s+1)*fb]
 	}
-	var actual [64]uint64
+	var actual [sim.LaneShots]uint64
 	written := 0
 	err = mc.SampleChunks(ctx, spec, func(b sim.BatchResult) error {
+		words := b.Words()
 		for i := range slab {
 			slab[i] = 0
 		}
 		for s := 0; s < b.Shots; s++ {
 			actual[s] = 0
 		}
-		// Transpose detector words (bit per shot) into per-shot packed
-		// frames, walking set bits only — cost scales with fired detectors.
-		for d, word := range b.Detectors {
+		// Transpose detector lanes (shot s at bit s%64 of word s/64) into
+		// per-shot packed frames, walking set bits only — cost scales with
+		// fired detectors.
+		for d := range b.Detectors {
 			byteIdx, bit := d>>3, byte(1)<<uint(d&7)
-			for ; word != 0; word &= word - 1 {
-				packed[bits.TrailingZeros64(word)][byteIdx] |= bit
+			for w := 0; w < words; w++ {
+				base := w * 64
+				for word := b.Detectors[d][w]; word != 0; word &= word - 1 {
+					packed[base+bits.TrailingZeros64(word)][byteIdx] |= bit
+				}
 			}
 		}
-		for o, word := range b.Observables {
+		for o := range b.Observables {
 			obit := uint64(1) << uint(o)
-			for ; word != 0; word &= word - 1 {
-				actual[bits.TrailingZeros64(word)] |= obit
+			for w := 0; w < words; w++ {
+				base := w * 64
+				for word := b.Observables[o][w]; word != 0; word &= word - 1 {
+					actual[base+bits.TrailingZeros64(word)] |= obit
+				}
 			}
 		}
 		for s := 0; s < b.Shots; s++ {
