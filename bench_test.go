@@ -13,6 +13,7 @@ import (
 	"caliqec/internal/deform"
 	"caliqec/internal/dem"
 	"caliqec/internal/exp"
+	"caliqec/internal/fleet"
 	"caliqec/internal/lattice"
 	"caliqec/internal/mc"
 	"caliqec/internal/obs"
@@ -22,7 +23,10 @@ import (
 	"caliqec/internal/stream"
 	"caliqec/internal/workload"
 	"context"
+	"fmt"
 	"io"
+	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -468,6 +472,102 @@ func BenchmarkStreamReplay(b *testing.B) {
 		}
 		reportRate(b)
 	})
+}
+
+// BenchmarkFleetServe drives the multi-tenant decode fleet end to end over
+// loopback TCP: per op, 256 concurrent clients stream a recorded d=3 trace
+// across 4 tenants through one shared worker pool. Frames per stream stays
+// under the stream-queue bound, so admission is deterministic and nothing
+// sheds — every sent frame is decoded. frames/s is the aggregate decode
+// throughput; fleet_p99_ns is the p99 of the pool's per-frame decode-latency
+// histogram, the SLO number scripts/bench_mc.sh gates in BENCH_stream.json
+// (fleet_p99_budget_ns).
+func BenchmarkFleetServe(b *testing.B) {
+	const (
+		streams = 256
+		frames  = 512
+		tenants = 4
+	)
+	p := memoryCircuit(b, 3)
+	c, err := p.MemoryCircuit(code.MemoryOptions{Rounds: 3, Basis: lattice.BasisZ, Noise: code.UniformNoise(3e-3)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := mc.Spec{Circuit: c, Decoder: decoder.KindUnionFind, Shots: frames, Rounds: 3, Seed: 17}
+	var buf bytes.Buffer
+	if _, err := stream.Record(context.Background(), spec, &buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	hr, err := stream.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One trace per tenant: same frame bytes, re-encoded header tenant.
+	traces := make([][]byte, tenants)
+	for i := range traces {
+		h := hr.Header()
+		h.Tenant = uint32(1 + i)
+		var hb bytes.Buffer
+		if _, err := stream.NewWriter(&hb, h); err != nil {
+			b.Fatal(err)
+		}
+		traces[i] = append(hb.Bytes(), raw[hb.Len():]...)
+	}
+	fd, err := mc.New(mc.Options{}).FrameDecoder(c, decoder.KindUnionFind)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	reg := obs.NewRegistry(nil)
+	srv := fleet.NewServer(fleet.Config{StreamQueue: frames, Metrics: reg},
+		func(stream.Header) (stream.FrameScorer, error) { return fd, nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, streams)
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				defer conn.Close()
+				conn.SetDeadline(time.Now().Add(2 * time.Minute))
+				sum, err := stream.SendTrace(conn.(*net.TCPConn), bytes.NewReader(traces[s%tenants]))
+				if err != nil {
+					errs[s] = err
+				} else if sum.Frames != frames || sum.Shed != 0 {
+					errs[s] = fmt.Errorf("stream %d: %d admitted / %d shed, want %d / 0", s, sum.Frames, sum.Shed, frames)
+				}
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	cancel()
+	if err := <-served; err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(streams*frames)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(reg.Histogram("fleet.decode.latency").Quantile(0.99), "fleet_p99_ns")
 }
 
 // BenchmarkIsolateReintegrate measures one full isolation/reintegration

@@ -9,6 +9,8 @@
 //	caliqec record       -d 3 -shots 20000 -o t.bin  persist a syndrome trace
 //	caliqec replay       -d 3 -check t.bin           decode a trace (optionally verify)
 //	caliqec serve        -addr :8790 -d 3,5          live-decode TCP syndrome streams
+//	caliqec serve        -fleet -tenant-rate 5e4     multi-tenant shared-pool decode fleet
+//	caliqec loadgen      -streams 256 -tenants 4     drive a fleet and check its SLOs
 //	caliqec health       -addr 127.0.0.1:8791        poll a replay/serve drift-health endpoint
 //	caliqec vet          -d 3                        static IR + deformation-log checks
 //	caliqec instructions                             print Table 1
@@ -57,6 +59,8 @@ func main() {
 		err = cmdReplay(args)
 	case "serve":
 		err = cmdServe(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "health":
 		err = cmdHealth(args)
 	case "vet":
@@ -74,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: caliqec <characterize|schedule|run|simulate|record|replay|serve|health|vet|instructions> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: caliqec <characterize|schedule|run|simulate|record|replay|serve|loadgen|health|vet|instructions> [flags]`)
 }
 
 func topoFlag(fs *flag.FlagSet) *string {

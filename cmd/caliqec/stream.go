@@ -6,6 +6,7 @@ import (
 	"caliqec/internal/circuit"
 	"caliqec/internal/code"
 	"caliqec/internal/decoder"
+	"caliqec/internal/fleet"
 	"caliqec/internal/lattice"
 	"caliqec/internal/mc"
 	"caliqec/internal/stream"
@@ -17,6 +18,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	goruntime "runtime"
 	"syscall"
 )
 
@@ -238,6 +240,7 @@ func cmdServe(args []string) (err error) {
 	workers := fs.Int("workers", 0, "decode worker fan-out per stream (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "frame queue depth per stream (0 = default)")
 	window := fs.Int("window", 0, "serve sliding-window decoders with this round window (0 = whole-shot); traces recording a different rounds/shot are rejected")
+	ff := addFleetFlags(fs)
 	oc := addObsFlags(fs)
 	dc := addDriftFlags(fs)
 	fs.Parse(args)
@@ -299,6 +302,19 @@ func cmdServe(args []string) (err error) {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *ff.on {
+		cfg, err := ff.config(est)
+		if err != nil {
+			return err
+		}
+		nw := cfg.Workers
+		if nw <= 0 {
+			nw = goruntime.GOMAXPROCS(0)
+		}
+		fmt.Printf("listening on %s (%d circuits, fleet pool of %d workers); Ctrl-C drains and exits\n",
+			ln.Addr(), cat.Len(), nw)
+		return fleet.NewServer(cfg, cat.Resolve).Serve(ctx, ln)
 	}
 	fmt.Printf("listening on %s (%d circuits); Ctrl-C drains and exits\n", ln.Addr(), cat.Len())
 	return stream.NewServer(cat.Resolve, stream.PipelineOptions{Workers: *workers, QueueDepth: *queue, Estimator: est}).Serve(ctx, ln)

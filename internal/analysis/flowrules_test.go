@@ -417,6 +417,64 @@ func x(work func()) {
 `},
 			nil,
 		},
+		{
+			// The fleet worker-pool shutdown pattern: a constructor spawns N
+			// workers in a loop, each tied to the pool's WaitGroup through a
+			// free-variable defer; Close joins them. The wg tie is the
+			// shutdown story the rule wants to see.
+			"silent on the shared-pool worker spawn (wg-tied, Close joins)",
+			map[string]string{"a/a.go": `package a
+
+import "sync"
+
+type pool struct {
+	wg     sync.WaitGroup
+	closed bool
+}
+
+func (p *pool) worker() {}
+
+func newPool(n int) *pool {
+	p := &pool{}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.worker()
+		}()
+	}
+	return p
+}
+
+func (p *pool) close() {
+	p.closed = true
+	p.wg.Wait()
+}
+`},
+			nil,
+		},
+		{
+			// The same spawn loop with the WaitGroup tie dropped: nothing
+			// joins the workers, so pool shutdown leaks n goroutines.
+			"fires on the pool worker spawn without a join",
+			map[string]string{"a/a.go": `package a
+
+type pool struct{ closed bool }
+
+func (p *pool) worker() {}
+
+func newPool(n int) *pool {
+	p := &pool{}
+	for i := 0; i < n; i++ {
+		go func() {
+			p.worker()
+		}()
+	}
+	return p
+}
+`},
+			map[string]int{"goroutineleak": 1},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -550,6 +608,64 @@ func x(work []func()) {
 }
 `},
 			nil,
+		},
+		{
+			// The fleet pool's constructor/Close split: Add(1) before each
+			// spawn in the constructor, Wait in a different method. The
+			// discipline holds per flow path even though Add and Wait never
+			// share a function body.
+			"silent on the pool constructor Add / Close Wait split",
+			map[string]string{"a/a.go": `package a
+
+import "sync"
+
+type pool struct{ wg sync.WaitGroup }
+
+func (p *pool) worker() {}
+
+func newPool(n int) *pool {
+	p := &pool{}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.worker()
+		}()
+	}
+	return p
+}
+
+func (p *pool) close() { p.wg.Wait() }
+`},
+			nil,
+		},
+		{
+			// The broken variant: the worker registers itself, so Close can
+			// Wait before any Add lands — the classic racy pool shutdown.
+			"fires when pool workers Add themselves",
+			map[string]string{"a/a.go": `package a
+
+import "sync"
+
+type pool struct{ wg sync.WaitGroup }
+
+func (p *pool) worker() {}
+
+func newPool(n int) *pool {
+	p := &pool{}
+	for i := 0; i < n; i++ {
+		go func() {
+			p.wg.Add(1)
+			defer p.wg.Done()
+			p.worker()
+		}()
+	}
+	return p
+}
+
+func (p *pool) close() { p.wg.Wait() }
+`},
+			map[string]int{"wgdiscipline": 1},
 		},
 	}
 	for _, tc := range cases {

@@ -20,13 +20,21 @@ import (
 type EventSink struct {
 	mu     sync.RWMutex // guards jobs against Emit/Close races
 	w      io.Writer
-	jobs   chan []byte
+	jobs   chan sinkJob
 	done   chan struct{}
-	werr   error // first write error; written by run, read after done closes
+	werr   error // first write error; confined to run until done closes
 	closed bool
 
 	emitted atomic.Int64
 	dropped atomic.Int64
+}
+
+// sinkJob is one queue entry: an encoded event line, or (when ack is
+// non-nil) a Flush barrier the writer goroutine answers with the current
+// write-error state.
+type sinkJob struct {
+	b   []byte
+	ack chan error
 }
 
 // NewEventSink returns a sink writing JSON lines to w. capacity bounds the
@@ -38,7 +46,7 @@ func NewEventSink(w io.Writer, capacity int) *EventSink {
 	}
 	s := &EventSink{
 		w:    w,
-		jobs: make(chan []byte, capacity),
+		jobs: make(chan sinkJob, capacity),
 		done: make(chan struct{}),
 	}
 	go s.run() //lint:allow bareloop the sink owns its writer goroutine; Close() drains the queue and joins it
@@ -50,13 +58,19 @@ func NewEventSink(w io.Writer, capacity int) *EventSink {
 // instead of backing the queue up behind a dead writer.
 func (s *EventSink) run() {
 	defer close(s.done)
-	for b := range s.jobs {
+	for j := range s.jobs {
+		if j.ack != nil {
+			// Flush barrier: everything enqueued before it has been handed
+			// to the writer; report the error state as of this point.
+			j.ack <- s.werr
+			continue
+		}
 		if s.werr != nil {
 			s.dropped.Add(1)
 			s.emitted.Add(-1)
 			continue
 		}
-		if _, err := s.w.Write(b); err != nil {
+		if _, err := s.w.Write(j.b); err != nil {
 			s.werr = err
 			s.dropped.Add(1)
 			s.emitted.Add(-1)
@@ -84,13 +98,37 @@ func (s *EventSink) Emit(v any) bool {
 		return false
 	}
 	select {
-	case s.jobs <- b:
+	case s.jobs <- sinkJob{b: b}:
 		s.emitted.Add(1)
 		return true
 	default:
 		s.dropped.Add(1)
 		return false
 	}
+}
+
+// Flush blocks until every event enqueued before the call has been handed
+// to the writer, and returns the first write error seen so far. Unlike
+// Close it leaves the sink open — use it at drain points (server shutdown,
+// end of a stream batch) where the sink is shared and must keep accepting
+// events. On a closed sink it waits for the writer to finish and returns
+// its error; no-op on nil.
+func (s *EventSink) Flush() error {
+	if s == nil {
+		return nil
+	}
+	ack := make(chan error, 1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		<-s.done
+		return s.werr
+	}
+	// A blocking send, deliberately: Flush is a rare control operation and
+	// must wait for queue space behind the events it is flushing.
+	s.jobs <- sinkJob{ack: ack}
+	s.mu.RUnlock()
+	return <-ack
 }
 
 // Emitted returns how many events were accepted and written (or are still

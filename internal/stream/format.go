@@ -25,7 +25,7 @@
 // Wire format (all integers little-endian):
 //
 //	header:  magic "CQSTRM01" (8) | version u16 | flags u16 |
-//	         numDetectors u32 | numObs u32 | reserved u32 |
+//	         numDetectors u32 | numObs u32 | tenant u32 |
 //	         fingerprint [16] | seed u64 | shots u64 |
 //	         [v2+] rounds u32 | detPerRound u32 |
 //	         crc32(header) u32
@@ -39,6 +39,12 @@
 // decoder derives the per-round split from its own round map). The reader
 // parses the version first and accepts v1 traces unchanged — their round
 // fields read as zero.
+//
+// The tenant field occupies what both versions reserved as a zero u32:
+// writers before the fleet subsystem always wrote 0 there, so tenant 0 (the
+// default tenant) is byte-identical to every previously recorded trace and
+// old readers ignore a nonzero tenant without a version bump. A multi-tenant
+// server keys admission control and fair scheduling on it.
 //
 // Bit d of the packed detector bytes (byte d/8, bit d%8) is set when
 // detector d fired. payloadLen is constant for a stream (8 + frame bytes);
@@ -93,6 +99,12 @@ var (
 	// ErrFormat marks a header that is not a CaliQEC trace (bad magic,
 	// unsupported version, inconsistent dimensions, bad header CRC).
 	ErrFormat = errors.New("stream: not a valid trace header")
+	// ErrOverload marks a stream the server shed under admission control or
+	// queue backpressure: the connection was healthy and the frames intact,
+	// but the fleet declined (some of) the work. Distinct from ErrTruncated —
+	// a client seeing ErrOverload should back off and retry, not suspect
+	// corruption.
+	ErrOverload = errors.New("stream: server overloaded, stream shed")
 )
 
 // Header is the self-describing trace preamble.
@@ -118,6 +130,11 @@ type Header struct {
 	// per-round detector count varies (memory circuits: the first and last
 	// detector rounds are thinner) or is unknown.
 	DetPerRound int
+	// Tenant identifies the stream's tenant for multi-tenant admission
+	// control and fair scheduling. 0 is the default tenant and encodes
+	// byte-identically to pre-fleet traces (the field was a zero reserved
+	// word).
+	Tenant uint32
 }
 
 // FrameBytes returns the packed detector payload size for numDetectors.
@@ -151,7 +168,7 @@ func appendHeader(buf []byte, h Header) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, 0) // flags
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.NumDetectors))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.NumObs))
-	buf = binary.LittleEndian.AppendUint32(buf, 0) // reserved
+	buf = binary.LittleEndian.AppendUint32(buf, h.Tenant)
 	buf = append(buf, h.Fingerprint[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, h.Seed)
 	buf = binary.LittleEndian.AppendUint64(buf, h.Shots)
@@ -309,6 +326,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	h := Header{
 		NumDetectors: int(binary.LittleEndian.Uint32(body[4:])),
 		NumObs:       int(binary.LittleEndian.Uint32(body[8:])),
+		Tenant:       binary.LittleEndian.Uint32(body[12:]),
 		Seed:         binary.LittleEndian.Uint64(body[32:]),
 		Shots:        binary.LittleEndian.Uint64(body[40:]),
 	}

@@ -170,6 +170,7 @@ type Monitor struct {
 	failures  int64
 	buckets   map[int64]*windowBucket
 	next      int64 // lowest unfinalized window index
+	finalized int64 // frames inside finalized windows (≤ frames)
 	est       []obs.RateEstimator
 	baseFail  int64 // LER baseline accumulators (frozen after BaselineWindows)
 	baseN     int64
@@ -284,23 +285,58 @@ func (m *Monitor) Observe(idx int64, syndrome []int, failed bool) {
 		if nb == nil || nb.frames < m.cfg.Window {
 			break
 		}
-		if m.finalizeLat != nil {
-			start := m.registry.Now()
-			m.finalizeWindow(nb)
-			m.finalizeLat.Observe(m.registry.Now().Sub(start).Nanoseconds())
-		} else {
-			m.finalizeWindow(nb)
-		}
+		m.finalizeTimed(nb, int64(m.cfg.Window))
 		delete(m.buckets, m.next)
+		m.finalized += int64(m.cfg.Window)
 		m.next++
 	}
 }
 
-// finalizeWindow runs the estimator updates for one completed window and
-// emits drift events. Called with mu held, strictly in window order.
-func (m *Monitor) finalizeWindow(b *windowBucket) {
+// Finalize flushes the monitor's pending partial windows: every bucket still
+// waiting for frames is finalized with its actual frame count as the rate
+// denominator, in ascending window order. Call it once the stream has ended
+// (Replay does, after the workers drain) so drift in a final partial window
+// still produces events and the health snapshot reflects every observed
+// frame; without it, up to Window-1 trailing frames would never reach the
+// estimators. Further Observe calls after Finalize open new windows past the
+// flushed ones. No-op on nil or when monitoring is disabled.
+func (m *Monitor) Finalize() {
+	if m == nil || m.cfg.Window <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Frame indices are dense, so pending windows are contiguous from next.
+	for {
+		nb := m.buckets[m.next]
+		if nb == nil {
+			break
+		}
+		m.finalizeTimed(nb, int64(nb.frames))
+		delete(m.buckets, m.next)
+		m.finalized += int64(nb.frames)
+		m.next++
+	}
+}
+
+// finalizeTimed wraps finalizeWindow with the estimator-latency histogram.
+// Called with mu held.
+func (m *Monitor) finalizeTimed(b *windowBucket, wsize int64) {
+	if m.finalizeLat != nil {
+		start := m.registry.Now()
+		m.finalizeWindow(b, wsize)
+		m.finalizeLat.Observe(m.registry.Now().Sub(start).Nanoseconds())
+	} else {
+		m.finalizeWindow(b, wsize)
+	}
+}
+
+// finalizeWindow runs the estimator updates for one window and emits drift
+// events. wsize is the rate denominator: the configured window for complete
+// buckets, the actual frame count for a Finalize-flushed partial one.
+// Called with mu held, strictly in window order.
+func (m *Monitor) finalizeWindow(b *windowBucket, wsize int64) {
 	window := m.next + 1 // 1-based in events, matching RateEstimator.LastTrip
-	wsize := int64(m.cfg.Window)
 	m.lastFails = int64(b.failures)
 
 	for d := range m.est {
@@ -418,7 +454,7 @@ func (m *Monitor) Snapshot() HealthSnapshot {
 		Frames:             m.frames,
 		Failures:           m.failures,
 		Windows:            m.next,
-		PendingFrames:      m.frames - m.next*int64(m.cfg.Window),
+		PendingFrames:      m.frames - m.finalized,
 		LastWindowFailures: m.lastFails,
 		FireRateEWMA:       make([]float64, m.numDet),
 		Drifting:           []DriftingDetector{},

@@ -205,6 +205,10 @@ func Replay(ctx context.Context, r *Reader, scorer FrameScorer, opt PipelineOpti
 		}()
 	}
 	wg.Wait()
+	// The stream has ended on every path (clean, truncated, corrupt,
+	// cancelled): flush the monitor's trailing partial window so drift in it
+	// still produces events before the summary is written.
+	mon.Finalize()
 	m.queueDepth.Set(0)
 	m.frames.Add(int64(totals.Frames))
 	m.failures.Add(int64(totals.Failures))

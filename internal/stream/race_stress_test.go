@@ -1,0 +1,138 @@
+package stream_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"caliqec/internal/obs"
+	"caliqec/internal/stream"
+)
+
+// Race-stress tests: meaningful mostly under -race (the CI race-internal
+// job), where they pin the concurrency contracts of the two shared lookup
+// structures every fleet connection touches — the decoder catalog and the
+// health registry.
+
+// TestCatalogConcurrentAccess hammers one Catalog with concurrent
+// Register / Resolve / Len from many goroutines over an overlapping
+// fingerprint set: registration must never tear a Resolve, and a Resolve
+// hit must always return a non-nil scorer.
+func TestCatalogConcurrentAccess(t *testing.T) {
+	cat := stream.NewCatalog()
+	fp := func(g, i int) (f [16]byte) {
+		f[0], f[1] = byte(g), byte(i)
+		return f
+	}
+	// Seed a few entries so readers hit from the start.
+	for i := 0; i < 4; i++ {
+		cat.Register(fp(0, i), parityScorer{})
+	}
+
+	const (
+		writers = 4
+		readers = 4
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cat.Register(fp(g, i%8), parityScorer{})
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h := stream.Header{Fingerprint: fp(g, i%8), NumDetectors: 8, NumObs: 1}
+				s, err := cat.Resolve(h)
+				if err == nil && s == nil {
+					t.Error("Resolve hit returned a nil scorer")
+					return
+				}
+				if n := cat.Len(); n < 4 {
+					t.Errorf("Len shrank to %d under registration", n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestHealthRegistryConcurrentScrape runs HTTP /health scrapes, direct
+// Get/Streams lookups, and monitor churn (Register, Observe, Snapshot,
+// Unregister, re-register) against one registry concurrently — the shape a
+// fleet server produces, where connections come and go while an operator
+// polls health.
+func TestHealthRegistryConcurrentScrape(t *testing.T) {
+	health := stream.NewHealthRegistry()
+	web := httptest.NewServer(health.Handler())
+	defer web.Close()
+
+	const (
+		feeders = 6
+		rounds  = 12
+		frames  = 64
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", g)
+			h := stream.Header{NumDetectors: 4, NumObs: 1}
+			for r := 0; r < rounds; r++ {
+				m := stream.NewMonitor(stream.EstimatorConfig{
+					Window: 16, BaselineWindows: 1, Stream: name,
+				}, parityScorer{}, h, obs.Discard)
+				health.Register(m)
+				for i := 0; i < frames; i++ {
+					m.Observe(int64(i), []int{i % 4}, i&1 == 1)
+				}
+				m.Finalize()
+				_ = m.Snapshot()
+				if r%3 == 2 {
+					health.Unregister(name)
+				}
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	scrape := func(path string) {
+		resp, err := http.Get(web.URL + path)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Error(err)
+		}
+	}
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		scrape("/health")
+		for _, name := range health.Streams() {
+			if m := health.Get(name); m != nil {
+				_ = m.Snapshot()
+			}
+			scrape("/health/stream/" + name) // may 404 mid-churn; only races matter
+		}
+	}
+}

@@ -24,6 +24,16 @@ type Summary struct {
 	Stream string `json:"stream,omitempty"`
 	// DriftEvents counts the drift events the stream's monitor generated.
 	DriftEvents int64 `json:"drift_events,omitempty"`
+	// Tenant echoes the tenant the stream was accounted to (fleet servers).
+	Tenant uint32 `json:"tenant,omitempty"`
+	// Shed counts frames the fleet declined under admission control or
+	// queue backpressure; Frames counts only the decoded ones, so
+	// Frames+Shed is what the client sent.
+	Shed int64 `json:"shed,omitempty"`
+	// Overload marks a stream the fleet shed — entirely (admission refused,
+	// Frames == 0) or partially (Shed > 0). SendTrace surfaces it as
+	// ErrOverload.
+	Overload bool `json:"overload,omitempty"`
 }
 
 // Catalog maps circuit fingerprints to frame scorers: the server's view of
@@ -174,6 +184,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		}()
 	}
 	wg.Wait()
+	// Every handler has drained and finalized its monitor windows; flush the
+	// drift-event sink so events from the final partial windows reach the log
+	// before Serve returns and the process moves on (or exits). The sink
+	// stays open — it is caller-owned and may be shared.
+	if err := s.opt.Estimator.Events.Flush(); err != nil && acceptErr == nil {
+		acceptErr = fmt.Errorf("stream: flushing drift events: %w", err)
+	}
 	return acceptErr
 }
 
@@ -242,20 +259,43 @@ type CloseWriter interface {
 // the write side so the server sees end-of-stream, and decodes the server's
 // summary line. The caller owns conn (set deadlines there for timeouts) and
 // closes it afterwards.
+//
+// When the server sheds the stream the returned error wraps ErrOverload and
+// the Summary still carries the server's accounting (admitted frames, shed
+// count, tenant). This holds even when the send itself fails mid-copy: a
+// fleet server that refuses admission writes its rejection summary and
+// closes, which surfaces client-side as a write error (EPIPE/RST) — before
+// reporting corruption, SendTrace reads whatever summary the server managed
+// to send and classifies from it.
 func SendTrace(conn io.ReadWriter, tr io.Reader) (Summary, error) {
-	if _, err := io.Copy(conn, tr); err != nil {
-		return Summary{}, fmt.Errorf("stream: sending trace: %w", err)
-	}
 	cw, ok := conn.(CloseWriter)
 	if !ok {
 		return Summary{}, fmt.Errorf("stream: connection %T cannot half-close; SendTrace requires a CloseWriter", conn)
 	}
-	if err := cw.CloseWrite(); err != nil {
-		return Summary{}, fmt.Errorf("stream: half-closing: %w", err)
-	}
+	// An I/O failure here may be the server closing on us after writing a
+	// rejection summary, so fall through to the summary read either way; a
+	// broken connection makes that read fail fast rather than block.
+	copyErr := func() error {
+		if _, err := io.Copy(conn, tr); err != nil {
+			return fmt.Errorf("stream: sending trace: %w", err)
+		}
+		if err := cw.CloseWrite(); err != nil {
+			return fmt.Errorf("stream: half-closing: %w", err)
+		}
+		return nil
+	}()
 	var sum Summary
 	if err := json.NewDecoder(conn).Decode(&sum); err != nil {
+		if copyErr != nil {
+			return Summary{}, copyErr
+		}
 		return Summary{}, fmt.Errorf("stream: reading summary: %w", err)
+	}
+	if sum.Overload {
+		return sum, fmt.Errorf("%w: %d frames admitted, %d shed (tenant %d)", ErrOverload, sum.Frames, sum.Shed, sum.Tenant)
+	}
+	if copyErr != nil {
+		return sum, copyErr
 	}
 	return sum, nil
 }
